@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one experiment from DESIGN.md's index
+(E1-E11).  Because the paper reports no absolute numbers, every benchmark
+
+* prints the rows/series it regenerates (visible with ``pytest -s`` and
+  captured in ``bench_output.txt``), and
+* asserts the *shape* of the result — who wins, by roughly what factor,
+  where the crossover falls — so a regression in the reproduction fails the
+  benchmark suite, not just changes a number.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+    """Print a fixed-width table (the benchmark harness's 'paper row' format)."""
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    header = tuple(str(cell) for cell in header)
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(header))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""The impossibility argument, executed: consensus from weight reassignment.
+
+Runs Algorithm 1 (consensus from the unrestricted weight reassignment
+problem) and Algorithm 2 (consensus from pairwise weight reassignment)
+against linearizable oracle services, with every server proposing a different
+value, and shows that Agreement, Validity and Termination hold — which is the
+paper's proof that neither problem can be solved without consensus-level
+power in an asynchronous failure-prone system.
+
+Run with:  python examples/consensus_from_reassignment.py
+"""
+
+from repro import SimLoop, gather
+from repro.core.reductions import (
+    OraclePairwiseReassignment,
+    OracleWeightReassignment,
+    algorithm1_propose,
+    algorithm2_propose,
+    algorithm_config,
+)
+from repro.net.registers import SWMRRegisterArray
+
+
+def run_algorithm1(n: int, f: int) -> None:
+    loop = SimLoop()
+    config = algorithm_config(n, f)
+    registers = SWMRRegisterArray(config.servers)
+    oracle = OracleWeightReassignment(loop, config)
+
+    proposals = {i: f"proposal-of-s{i}" for i in range(1, n + 1)}
+    decisions = loop.run_until_complete(
+        gather(
+            loop,
+            [
+                algorithm1_propose(loop, config, registers, oracle, i, proposals[i])
+                for i in range(1, n + 1)
+            ],
+        )
+    )
+    effective = [
+        record
+        for record in oracle.trace
+        if any(change.delta != 0 for change in record.created)
+    ]
+    print(f"Algorithm 1 (n={n}, f={f})")
+    print(f"  proposals            : {list(proposals.values())}")
+    print(f"  decisions            : {sorted(set(decisions))}")
+    print(f"  effective reassigns  : {len(effective)} (must be exactly 1)")
+    print(f"  agreement holds      : {len(set(decisions)) == 1}")
+    print()
+
+
+def run_algorithm2(n: int, f: int) -> None:
+    loop = SimLoop()
+    config = algorithm_config(n, f)
+    registers = SWMRRegisterArray(config.servers)
+    oracle = OraclePairwiseReassignment(loop, config)
+
+    proposals = {i: f"proposal-of-s{i}" for i in range(1, n + 1)}
+    decisions = loop.run_until_complete(
+        gather(
+            loop,
+            [
+                algorithm2_propose(loop, config, registers, oracle, i, proposals[i])
+                for i in range(1, n + 1)
+            ],
+        )
+    )
+    totals = {round(sum(r.weights_after.values()), 6) for r in oracle.trace}
+    print(f"Algorithm 2 (n={n}, f={f})")
+    print(f"  decisions            : {sorted(set(decisions))}")
+    print(f"  decided proposer in F: {decisions[0] in [proposals[i] for i in range(1, f + 1)]}")
+    print(f"  total weight constant: {totals == {float(n)}}")
+    print(f"  agreement holds      : {len(set(decisions)) == 1}")
+    print()
+
+
+def main() -> None:
+    print("=== Theorem 1: consensus <= weight reassignment ===\n")
+    for n, f in [(4, 1), (7, 2), (10, 3)]:
+        run_algorithm1(n, f)
+    print("=== Theorem 2: consensus <= pairwise weight reassignment ===\n")
+    for n, f in [(7, 2), (10, 3)]:
+        run_algorithm2(n, f)
+    print("Both reductions decide a single proposed value on every run, i.e. they")
+    print("solve consensus — so neither problem is implementable in an")
+    print("asynchronous failure-prone system (Corollary 1).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+"""repro — a reproduction of "How Hard is Asynchronous Weight Reassignment?" (ICDCS 2023).
+
+The package implements the paper's restricted pairwise weight reassignment
+protocol and the dynamic-weighted atomic storage built on it, together with
+every substrate they need (a deterministic asynchronous simulation, quorum
+systems, reliable broadcast, consensus and total-order baselines, asset
+transfer, monitoring) and the baselines the paper compares against.
+
+Quick start::
+
+    from repro import SystemConfig, build_dynamic_cluster
+
+    config = SystemConfig.uniform(5, f=1)
+    cluster = build_dynamic_cluster(config)
+    client = cluster.any_client()
+
+    async def demo():
+        await client.write("hello")
+        await cluster.servers["s1"].transfer("s2", 0.25)   # reassign voting power
+        return await client.read()
+
+    print(cluster.loop.run_until_complete(demo()))
+
+See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for the
+paper-versus-measured record of every experiment.
+"""
+
+from repro.core.change import Change, ChangeSet, initial_changes
+from repro.core.protocol import ReassignmentServer, TransferOutcome, read_changes
+from repro.core.reductions import (
+    OraclePairwiseReassignment,
+    OracleWeightReassignment,
+    algorithm1_propose,
+    algorithm2_propose,
+    paper_initial_weights,
+)
+from repro.core.spec import (
+    SystemConfig,
+    check_integrity,
+    check_p_integrity,
+    check_rp_integrity,
+)
+from repro.core.storage import (
+    DynamicWeightedStorageClient,
+    DynamicWeightedStorageServer,
+)
+from repro.net.latency import (
+    ConstantLatency,
+    LogNormalLatency,
+    PerLinkLatency,
+    SlowdownLatency,
+    UniformLatency,
+    WanMatrixLatency,
+)
+from repro.net.network import Network
+from repro.net.process import Process
+from repro.net.simloop import SimLoop, gather
+from repro.quorum import (
+    GridQuorumSystem,
+    MajorityQuorumSystem,
+    TreeQuorumSystem,
+    WeightedMajorityQuorumSystem,
+    wmqs_is_available,
+)
+from repro.sim.cluster import build_dynamic_cluster, build_static_cluster
+from repro.sim.runner import run_workload
+from repro.sim.workload import uniform_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "Change",
+    "ChangeSet",
+    "initial_changes",
+    "SystemConfig",
+    "check_integrity",
+    "check_p_integrity",
+    "check_rp_integrity",
+    "ReassignmentServer",
+    "TransferOutcome",
+    "read_changes",
+    "DynamicWeightedStorageServer",
+    "DynamicWeightedStorageClient",
+    "OracleWeightReassignment",
+    "OraclePairwiseReassignment",
+    "algorithm1_propose",
+    "algorithm2_propose",
+    "paper_initial_weights",
+    # simulation substrate
+    "SimLoop",
+    "gather",
+    "Network",
+    "Process",
+    "ConstantLatency",
+    "UniformLatency",
+    "LogNormalLatency",
+    "PerLinkLatency",
+    "WanMatrixLatency",
+    "SlowdownLatency",
+    # quorum systems
+    "MajorityQuorumSystem",
+    "WeightedMajorityQuorumSystem",
+    "GridQuorumSystem",
+    "TreeQuorumSystem",
+    "wmqs_is_available",
+    # harness
+    "build_dynamic_cluster",
+    "build_static_cluster",
+    "uniform_workload",
+    "run_workload",
+]

@@ -1,0 +1,26 @@
+"""Analytical tools: expected quorum latency and weight planning.
+
+These helpers compute, without running the simulator, the quantities the
+paper's motivation relies on: how fast a client can assemble a (weighted)
+quorum given per-server latencies, and how small quorums can become for a
+given weight assignment.  Experiment E5 uses them to reproduce the
+"WMQS beats MQS on heterogeneous WANs" claim.
+"""
+
+from repro.analysis.quorum_latency import (
+    expected_quorum_latency,
+    quorum_latency_table,
+    fastest_quorum,
+)
+from repro.analysis.weights import (
+    inverse_latency_weights,
+    quorum_size_after_reassignment,
+)
+
+__all__ = [
+    "expected_quorum_latency",
+    "quorum_latency_table",
+    "fastest_quorum",
+    "inverse_latency_weights",
+    "quorum_size_after_reassignment",
+]

@@ -1,0 +1,20 @@
+"""Consensus substrate.
+
+The paper's negative results say weight reassignment *requires* consensus; the
+positive baseline protocols from related work ([10], [22], [27]) therefore
+need a consensus (or total-order) primitive to run on.  This package provides:
+
+* :mod:`repro.consensus.spec` — the consensus interface and its properties.
+* :mod:`repro.consensus.paxos` — single-decree Paxos (synod) over the
+  simulated network, used where genuine quorum-based agreement is wanted.
+* :mod:`repro.consensus.sequencer` — a total-order broadcast built around a
+  sequencer process, the simplest consensus-equivalent primitive; the
+  consensus-based reassignment baseline and the k-owner asset transfer are
+  built on it.
+"""
+
+from repro.consensus.spec import ConsensusResult
+from repro.consensus.paxos import PaxosNode
+from repro.consensus.sequencer import Sequencer, TotalOrderClient
+
+__all__ = ["ConsensusResult", "PaxosNode", "Sequencer", "TotalOrderClient"]

@@ -1,0 +1,174 @@
+"""Single-decree Paxos (the synod protocol) over the simulated network.
+
+The paper's impossibility results mean the *unrestricted* weight-reassignment
+problem needs consensus; this module provides that consensus for the
+partially-synchronous baselines (e.g. the consensus-based reassignment of
+related work [10]).  Plain FLP-style asynchrony cannot guarantee Paxos
+termination, so proposers retry with growing, seeded backoff — the simulated
+analogue of partial synchrony / an eventual leader.
+
+Every node plays all three roles (proposer, acceptor, learner):
+
+* phase 1 (prepare/promise): a proposer picks a ballot ``(round, pid)`` and
+  asks a majority of acceptors to promise not to accept lower ballots,
+  learning the highest-ballot value any of them has accepted;
+* phase 2 (accept/accepted): it then asks the majority to accept either that
+  value or, if none, its own proposal;
+* decision: once a majority accepts one ballot, the proposer broadcasts the
+  decision and every node learns it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.consensus.spec import ConsensusResult
+from repro.errors import ConfigurationError
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.process import Process
+from repro.net.simloop import SimFuture
+from repro.types import ProcessId
+
+__all__ = ["PaxosNode"]
+
+PREPARE = "PAXOS_PREPARE"
+PROMISE = "PAXOS_PROMISE"
+ACCEPT = "PAXOS_ACCEPT"
+ACCEPTED = "PAXOS_ACCEPTED"
+DECIDE = "PAXOS_DECIDE"
+
+Ballot = Tuple[int, ProcessId]
+
+
+@dataclass
+class _AcceptorState:
+    promised: Ballot = (0, "")
+    accepted_ballot: Optional[Ballot] = None
+    accepted_value: Any = None
+
+
+class PaxosNode(Process):
+    """A combined proposer/acceptor/learner for one consensus instance."""
+
+    def __init__(
+        self,
+        pid: ProcessId,
+        network: Network,
+        participants: Sequence[ProcessId],
+        seed: int = 0,
+    ) -> None:
+        if pid not in participants:
+            raise ConfigurationError(f"{pid!r} is not a participant")
+        super().__init__(pid, network)
+        self.participants = tuple(participants)
+        self.majority = len(self.participants) // 2 + 1
+        self._acceptor = _AcceptorState()
+        self._round = 0
+        # Seed from a string so the RNG stream is stable across interpreter
+        # runs (tuple hashes are randomised by PYTHONHASHSEED).
+        self._rng = random.Random(f"{seed}:{pid}")
+        self.decided_value: Any = None
+        self.decided = SimFuture(name=f"{pid}.decided")
+        self.register_handler(PREPARE, self._on_prepare)
+        self.register_handler(ACCEPT, self._on_accept)
+        self.register_handler(DECIDE, self._on_decide)
+
+    # -- acceptor role ------------------------------------------------------
+    def _on_prepare(self, message: Message) -> None:
+        ballot: Ballot = message.payload["ballot"]
+        if ballot > self._acceptor.promised:
+            self._acceptor.promised = ballot
+            self.reply(
+                message,
+                PROMISE,
+                {
+                    "ok": True,
+                    "ballot": ballot,
+                    "accepted_ballot": self._acceptor.accepted_ballot,
+                    "accepted_value": self._acceptor.accepted_value,
+                },
+            )
+        else:
+            self.reply(
+                message,
+                PROMISE,
+                {"ok": False, "ballot": ballot, "promised": self._acceptor.promised},
+            )
+
+    def _on_accept(self, message: Message) -> None:
+        ballot: Ballot = message.payload["ballot"]
+        if ballot >= self._acceptor.promised:
+            self._acceptor.promised = ballot
+            self._acceptor.accepted_ballot = ballot
+            self._acceptor.accepted_value = message.payload["value"]
+            self.reply(message, ACCEPTED, {"ok": True, "ballot": ballot})
+        else:
+            self.reply(message, ACCEPTED, {"ok": False, "ballot": ballot})
+
+    # -- learner role ----------------------------------------------------------
+    def _on_decide(self, message: Message) -> None:
+        self._learn(message.payload["value"])
+
+    def _learn(self, value: Any) -> None:
+        if not self.decided.done():
+            self.decided_value = value
+            self.decided.set_result(value)
+
+    # -- proposer role -----------------------------------------------------------
+    async def propose(self, value: Any) -> ConsensusResult:
+        """Drive the synod protocol until a decision is learned."""
+        proposed = value
+        while not self.decided.done():
+            self._round += 1
+            ballot: Ballot = (self._round, self.pid)
+
+            # Phase 1: prepare / promise.
+            prepare = self.request_all(self.participants, PREPARE, {"ballot": ballot})
+            replies = await prepare.wait_for_count(self.majority)
+            positive = [reply for reply in replies if reply.payload["ok"]]
+            if len(positive) < self.majority:
+                await self._backoff(replies)
+                continue
+
+            # Adopt the highest-ballot accepted value, if any.
+            accepted = [
+                (reply.payload["accepted_ballot"], reply.payload["accepted_value"])
+                for reply in positive
+                if reply.payload["accepted_ballot"] is not None
+            ]
+            chosen = max(accepted)[1] if accepted else value
+
+            # Phase 2: accept / accepted.
+            accept = self.request_all(
+                self.participants, ACCEPT, {"ballot": ballot, "value": chosen}
+            )
+            replies = await accept.wait_for_count(self.majority)
+            positive = [reply for reply in replies if reply.payload["ok"]]
+            if len(positive) < self.majority:
+                await self._backoff(replies)
+                continue
+
+            # Decision: tell everyone (including self).
+            self._learn(chosen)
+            self.send_to_all(
+                [p for p in self.participants if p != self.pid], DECIDE, {"value": chosen}
+            )
+
+        decided = await self.decided
+        return ConsensusResult(
+            process=self.pid,
+            proposed=proposed,
+            decided=decided,
+            decided_at=self.loop.now,
+        )
+
+    async def _backoff(self, replies: List[Message]) -> None:
+        """Adopt a higher round and back off for a random (seeded) delay."""
+        for reply in replies:
+            promised = reply.payload.get("promised")
+            if promised is not None:
+                self._round = max(self._round, promised[0])
+        await self.loop.sleep(self._rng.uniform(1.0, 5.0) * (1 + self._round / 10))

@@ -1,0 +1,207 @@
+"""Executable problem specifications (Definitions 3, 4 and 5).
+
+This module turns the paper's safety properties into checkable predicates:
+
+* :func:`check_integrity` — Integrity of Definition 3 / P-Integrity of
+  Definition 4: for every ``F ⊂ S`` with ``|F| = f``, ``W_F < W_S / 2``
+  (equivalently, Property 1 holds for the current weights).
+* :func:`check_rp_integrity` — RP-Integrity of Definition 5: every server's
+  weight stays strictly above ``W_{S,0} / (2 (n - f))``.
+* :func:`check_validity_one` / :func:`check_rp_validity_one` — the shape of
+  the changes an operation is allowed to create.
+
+They are pure functions over weight maps and change sets, so both the
+protocols (for their local checks) and the test-suite / hypothesis verifiers
+(for whole-trace validation) share the same definitions.
+
+:class:`SystemConfig` bundles the static parameters of a deployment: the
+server set ``S``, the fault threshold ``f`` and the initial weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.core.change import ChangeSet, initial_changes
+from repro.errors import ConfigurationError, IntegrityViolation
+from repro.numerics import strictly_greater
+from repro.quorum.availability import wmqs_is_available
+from repro.types import ProcessId, Weight
+
+__all__ = [
+    "SystemConfig",
+    "weights_from_changes",
+    "check_integrity",
+    "check_p_integrity",
+    "check_rp_integrity",
+    "check_validity_one",
+    "check_rp_validity_one",
+    "rp_minimum_weight",
+]
+
+
+def weights_from_changes(
+    changes: ChangeSet, servers: Sequence[ProcessId]
+) -> Dict[ProcessId, Weight]:
+    """Derive the current weight map ``W_{s,t}`` from a change set."""
+    return changes.weights(servers)
+
+
+def check_integrity(weights: Mapping[ProcessId, Weight], f: int) -> bool:
+    """Integrity (Def. 3) / P-Integrity (Def. 4).
+
+    For every subset ``F`` of ``f`` servers, ``W_F < W_S / 2``.  Checking all
+    subsets is equivalent to checking the ``f`` heaviest servers, i.e. to
+    Property 1.
+    """
+    return wmqs_is_available(weights, f)
+
+
+# P-Integrity is textually identical to Integrity; the difference between the
+# two problems lies in how weights may change, not in the predicate itself.
+check_p_integrity = check_integrity
+
+
+def rp_minimum_weight(total_initial_weight: Weight, n: int, f: int) -> Weight:
+    """The RP-Integrity lower bound ``W_{S,0} / (2 (n - f))``."""
+    if n <= f:
+        raise ConfigurationError(f"need n > f, got n={n}, f={f}")
+    return total_initial_weight / (2 * (n - f))
+
+
+def check_rp_integrity(
+    weights: Mapping[ProcessId, Weight],
+    total_initial_weight: Weight,
+    f: int,
+) -> bool:
+    """RP-Integrity (Def. 5): every weight stays above ``W_{S,0}/(2(n-f))``."""
+    n = len(weights)
+    minimum = rp_minimum_weight(total_initial_weight, n, f)
+    return all(strictly_greater(weight, minimum) for weight in weights.values())
+
+
+def check_validity_one(
+    requested_delta: Weight, created_delta: Weight, integrity_would_hold: bool
+) -> bool:
+    """Validity-I (Def. 3): the created change mirrors the request, or is null.
+
+    If completing the reassignment with the requested delta keeps Integrity,
+    the created change must carry exactly that delta; otherwise it must be a
+    zero-weight (null) change.
+    """
+    if requested_delta == 0:
+        # reassign(*, 0) is not a legal invocation.
+        return False
+    if integrity_would_hold:
+        return created_delta == requested_delta
+    return created_delta == 0
+
+
+def check_rp_validity_one(
+    source: ProcessId,
+    author: ProcessId,
+    requested_delta: Weight,
+    created_source_delta: Weight,
+    created_target_delta: Weight,
+    rp_integrity_would_hold: bool,
+) -> bool:
+    """RP-Validity-I (Def. 5): pairwise shape + C1 (only the source transfers)."""
+    if author != source:
+        # C1: only s_i may invoke transfer(s_i, *, *).
+        return False
+    if requested_delta == 0:
+        return False
+    if rp_integrity_would_hold:
+        return (
+            created_source_delta == -requested_delta
+            and created_target_delta == requested_delta
+        )
+    return created_source_delta == 0 and created_target_delta == 0
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Static parameters of a deployment (Section II).
+
+    Attributes:
+        servers: the server set ``S`` (order fixes the canonical indexing).
+        f: the static crash-fault threshold.
+        initial_weights: ``W_{s,0}`` for every server; defaults to 1.0 each.
+    """
+
+    servers: Tuple[ProcessId, ...]
+    f: int
+    initial_weights: Dict[ProcessId, Weight] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(set(self.servers)) != len(self.servers):
+            raise ConfigurationError("duplicate server ids")
+        if not self.servers:
+            raise ConfigurationError("server set must not be empty")
+        if self.f < 0:
+            raise ConfigurationError(f"fault threshold must be >= 0, got {self.f}")
+        if self.f >= len(self.servers):
+            raise ConfigurationError(
+                f"fault threshold f={self.f} must be < n={len(self.servers)}"
+            )
+        weights = dict(self.initial_weights)
+        if not weights:
+            weights = {server: 1.0 for server in self.servers}
+        if set(weights) != set(self.servers):
+            raise ConfigurationError(
+                "initial_weights must cover exactly the server set"
+            )
+        object.__setattr__(self, "initial_weights", weights)
+        if not wmqs_is_available(weights, self.f):
+            raise IntegrityViolation(
+                "initial weights violate Property 1 (Integrity at t=0): "
+                f"weights={weights}, f={self.f}"
+            )
+
+    # -- derived quantities ----------------------------------------------------
+    @property
+    def n(self) -> int:
+        return len(self.servers)
+
+    @property
+    def total_initial_weight(self) -> Weight:
+        return sum(self.initial_weights.values())
+
+    @property
+    def rp_min_weight(self) -> Weight:
+        """The RP-Integrity bound ``W_{S,0} / (2 (n - f))``."""
+        return rp_minimum_weight(self.total_initial_weight, self.n, self.f)
+
+    def initial_change_set(self) -> ChangeSet:
+        """The conventional initial changes ``<s, 1, s, W_{s,0}>``."""
+        return initial_changes(self.initial_weights)
+
+    def validate_rp_initial_weights(self) -> None:
+        """Ensure the initial weights already satisfy RP-Integrity."""
+        if not check_rp_integrity(self.initial_weights, self.total_initial_weight, self.f):
+            raise IntegrityViolation(
+                "initial weights violate RP-Integrity: some server starts at or "
+                f"below the bound {self.rp_min_weight}"
+            )
+
+    # -- convenience constructors ------------------------------------------------
+    @classmethod
+    def uniform(
+        cls, n: int, f: Optional[int] = None, weight: Weight = 1.0
+    ) -> "SystemConfig":
+        """``n`` servers named ``s1..sn`` with equal weights and maximal ``f``.
+
+        When ``f`` is omitted the maximal threshold tolerated by uniform
+        weights, ``ceil(n/2) - 1``, is used.
+        """
+        from repro.types import server_set
+
+        servers = server_set(n)
+        if f is None:
+            f = (n - 1) // 2
+        return cls(
+            servers=servers,
+            f=f,
+            initial_weights={server: weight for server in servers},
+        )

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific exceptions derive from :class:`ReproError`, so callers
+can catch a single base class.  Errors are split along the package structure:
+simulation-kernel errors, configuration errors, and protocol-level violations
+raised by the specification checkers (used heavily by the test-suite).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with inconsistent or invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel reached an invalid state."""
+
+
+class DeadlockError(SimulationError):
+    """The simulation ran out of events while tasks were still pending.
+
+    Raised by :meth:`repro.net.simloop.SimLoop.run` when asked to run a task
+    to completion but no further events can make progress — the asynchronous
+    equivalent of a deadlock (for instance, waiting for a quorum of replies
+    when too many servers have crashed).
+    """
+
+
+class SimTimeoutError(SimulationError):
+    """A virtual-time deadline elapsed before the awaited future resolved."""
+
+
+class CrashedProcessError(SimulationError):
+    """An operation was invoked on a process that has already crashed."""
+
+
+class SpecViolation(ReproError):
+    """A safety property from the paper's problem definitions was violated.
+
+    The specification checkers in :mod:`repro.core.spec` raise this error when
+    a trace violates Integrity, P-Integrity, RP-Integrity or one of the
+    Validity properties.  The protocol implementations never raise it during
+    normal operation; it exists so tests and property-based verifiers can
+    assert that executions stay within the specification.
+    """
+
+
+class IntegrityViolation(SpecViolation):
+    """Integrity / P-Integrity / RP-Integrity (Definitions 3-5) was violated."""
+
+
+class ValidityViolation(SpecViolation):
+    """Validity-I / Validity-II (and their P-/RP- variants) was violated."""
+
+
+class AtomicityViolation(SpecViolation):
+    """A register history is not linearizable (Definition 6)."""
+
+
+class TransferRejected(ReproError):
+    """A ``transfer`` invocation was aborted (a zero-weight change was created).
+
+    This is not an error condition of the protocol — the paper's RP-Validity-I
+    explicitly allows null transfers — but the high-level
+    :class:`repro.monitoring.controller.WeightController` treats it as a
+    signal that the requested reassignment is not currently possible.
+    """
+
+
+class UnknownProcessError(ConfigurationError):
+    """A message was addressed to a process the network does not know about."""

@@ -1,0 +1,120 @@
+"""Latency monitoring.
+
+A :class:`LatencyMonitor` accumulates round-trip latency samples per server
+and summarises them (mean / exponentially weighted moving average).  Samples
+can come from two sources:
+
+* **passive** — protocol clients report the per-server reply latencies they
+  observe during normal operations;
+* **active** — :meth:`LatencyMonitor.probe` sends a no-op ping to every
+  server and records the reply times (the way AWARE-style monitoring [10]
+  measures links).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Deque, Dict, Iterable, Mapping, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.net.message import Message
+from repro.net.process import Process
+from repro.types import ProcessId, VirtualTime
+
+__all__ = ["LatencyMonitor", "install_probe_responder"]
+
+PING = "MON_PING"
+PONG = "MON_PONG"
+
+
+def install_probe_responder(process: Process) -> None:
+    """Make ``process`` answer monitoring pings (servers call this once)."""
+    process.register_handler(PING, lambda message: process.reply(message, PONG, {}))
+
+
+class LatencyMonitor:
+    """Sliding-window latency statistics for a set of servers."""
+
+    def __init__(
+        self,
+        servers: Sequence[ProcessId],
+        window: int = 32,
+        ewma_alpha: float = 0.3,
+    ) -> None:
+        if window < 1:
+            raise ConfigurationError("window must be at least 1")
+        if not 0 < ewma_alpha <= 1:
+            raise ConfigurationError("ewma_alpha must be in (0, 1]")
+        self.servers = tuple(servers)
+        self.window = window
+        self.ewma_alpha = ewma_alpha
+        self._samples: Dict[ProcessId, Deque[VirtualTime]] = defaultdict(
+            lambda: deque(maxlen=window)
+        )
+        self._ewma: Dict[ProcessId, Optional[VirtualTime]] = {
+            server: None for server in self.servers
+        }
+
+    # -- feeding samples ---------------------------------------------------------
+    def record(self, server: ProcessId, latency: VirtualTime) -> None:
+        """Record one round-trip latency sample for ``server``."""
+        if latency < 0:
+            raise ConfigurationError("latency samples must be non-negative")
+        self._samples[server].append(latency)
+        previous = self._ewma.get(server)
+        if previous is None:
+            self._ewma[server] = latency
+        else:
+            self._ewma[server] = (
+                self.ewma_alpha * latency + (1 - self.ewma_alpha) * previous
+            )
+
+    def record_many(self, samples: Mapping[ProcessId, VirtualTime]) -> None:
+        for server, latency in samples.items():
+            self.record(server, latency)
+
+    # -- active probing ---------------------------------------------------------------
+    async def probe(self, prober: Process, timeout: Optional[VirtualTime] = None) -> Dict[ProcessId, VirtualTime]:
+        """Ping every server from ``prober`` and record the reply latencies.
+
+        Servers that do not answer (crashed, partitioned) simply contribute no
+        sample; ``timeout`` bounds how long the probe waits after the first
+        ``len(servers) - 1`` replies would normally have arrived.
+        """
+        started = prober.loop.now
+        collector = prober.request_all(self.servers, PING, {})
+        waiter = collector.wait_for_count(len(self.servers))
+        if timeout is not None:
+            waiter = prober.loop.timeout(waiter, timeout)
+        try:
+            await waiter
+        except Exception:
+            # Partial probes are fine; use whatever replies arrived.
+            pass
+        observed: Dict[ProcessId, VirtualTime] = {}
+        for reply in collector.responses:
+            latency = reply.delivered_at - started
+            observed[reply.sender] = latency
+            self.record(reply.sender, latency)
+        return observed
+
+    # -- summaries ------------------------------------------------------------------
+    def mean(self, server: ProcessId) -> Optional[VirtualTime]:
+        samples = self._samples.get(server)
+        if not samples:
+            return None
+        return sum(samples) / len(samples)
+
+    def ewma(self, server: ProcessId) -> Optional[VirtualTime]:
+        return self._ewma.get(server)
+
+    def summary(self, default: VirtualTime = 1.0) -> Dict[ProcessId, VirtualTime]:
+        """EWMA latency per server, substituting ``default`` when unsampled."""
+        result = {}
+        for server in self.servers:
+            value = self._ewma.get(server)
+            result[server] = default if value is None else value
+        return result
+
+    def sample_count(self, server: ProcessId) -> int:
+        return len(self._samples.get(server, ()))

@@ -1,0 +1,64 @@
+"""The message envelope exchanged over the simulated network.
+
+Messages carry a ``kind`` (the protocol-level message type, e.g. ``"RC"`` or
+``"W_ACK"``), an arbitrary ``payload`` dictionary, and bookkeeping fields the
+request/response helpers use to correlate replies with requests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.types import ProcessId, VirtualTime
+
+__all__ = ["Message"]
+
+_message_ids = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """A single message in flight (or delivered).
+
+    Attributes:
+        sender: id of the sending process.
+        receiver: id of the destination process.
+        kind: protocol-level type tag (``"RC"``, ``"T"``, ``"R"``, ...).
+        payload: protocol-specific contents; values should be treated as
+            immutable by receivers (the network does not deep-copy them).
+        request_id: correlation id used by :class:`repro.net.process.Process`
+            request/response helpers; ``None`` for one-way messages.
+        is_reply: True when the message answers a request with the same
+            ``request_id`` (set automatically by :meth:`reply`).
+        sent_at / delivered_at: virtual timestamps filled in by the network.
+        msg_id: globally unique id, useful for tracing.
+    """
+
+    sender: ProcessId
+    receiver: ProcessId
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    request_id: Optional[int] = None
+    is_reply: bool = False
+    sent_at: VirtualTime = 0.0
+    delivered_at: VirtualTime = 0.0
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+
+    def reply(self, kind: str, payload: Optional[Dict[str, Any]] = None) -> "Message":
+        """Build a response to this message, preserving the correlation id."""
+        return Message(
+            sender=self.receiver,
+            receiver=self.sender,
+            kind=kind,
+            payload=payload or {},
+            request_id=self.request_id,
+            is_reply=True,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Message #{self.msg_id} {self.kind} {self.sender}->{self.receiver}"
+            f" req={self.request_id}>"
+        )

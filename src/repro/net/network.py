@@ -1,0 +1,168 @@
+"""Reliable asynchronous point-to-point links with crash faults and partitions.
+
+The :class:`Network` connects every registered :class:`~repro.net.process.Process`
+with reliable links: a message sent between two correct processes is
+eventually delivered, exactly once, after a delay chosen by the configured
+:class:`~repro.net.latency.LatencyModel`.  That is precisely the paper's
+system model (Section II).
+
+Fault injection:
+
+* :meth:`Network.crash` — crash-stop a process.  Crashed processes neither
+  send nor receive; messages already in flight towards them are silently
+  discarded on delivery (an acceptable refinement of crash-stop semantics).
+* :meth:`Network.partition` / :meth:`Network.heal` — temporarily hold
+  messages crossing a partition boundary.  Because the system is
+  asynchronous, a partition is indistinguishable from very slow links; the
+  held messages are released (in order) when the partition heals, so links
+  remain reliable.
+
+The network also keeps counters (messages sent, delivered, per-kind) that the
+benchmark harness reads to report message complexity.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.errors import UnknownProcessError
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.message import Message
+from repro.net.simloop import SimLoop
+from repro.types import ProcessId, VirtualTime
+
+__all__ = ["Network"]
+
+
+class Network:
+    """The message fabric connecting simulated processes."""
+
+    def __init__(
+        self,
+        loop: SimLoop,
+        latency: Optional[LatencyModel] = None,
+    ) -> None:
+        self.loop = loop
+        self.latency = latency or ConstantLatency(1.0)
+        self._processes: Dict[ProcessId, "ProcessLike"] = {}
+        self._crashed: Set[ProcessId] = set()
+        self._partition_groups: List[Set[ProcessId]] = []
+        self._held: List[Message] = []
+        # Statistics
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.sent_by_kind: Counter = Counter()
+
+    # -- membership ------------------------------------------------------------
+    def register(self, process: "ProcessLike") -> None:
+        """Attach a process to the network (its ``pid`` must be unique)."""
+        if process.pid in self._processes:
+            raise UnknownProcessError(
+                f"process id {process.pid!r} registered twice"
+            )
+        self._processes[process.pid] = process
+
+    def process_ids(self) -> Sequence[ProcessId]:
+        return tuple(self._processes)
+
+    def get_process(self, pid: ProcessId) -> "ProcessLike":
+        try:
+            return self._processes[pid]
+        except KeyError as exc:
+            raise UnknownProcessError(f"unknown process {pid!r}") from exc
+
+    # -- fault injection ---------------------------------------------------------
+    def crash(self, pid: ProcessId) -> None:
+        """Crash-stop ``pid``: it stops sending and receiving forever."""
+        self.get_process(pid)  # validates existence
+        self._crashed.add(pid)
+
+    def is_crashed(self, pid: ProcessId) -> bool:
+        return pid in self._crashed
+
+    def crashed_processes(self) -> Set[ProcessId]:
+        return set(self._crashed)
+
+    def partition(self, groups: Iterable[Iterable[ProcessId]]) -> None:
+        """Split processes into groups; cross-group messages are held.
+
+        Processes not listed in any group form an implicit extra group.
+        """
+        self._partition_groups = [set(group) for group in groups]
+
+    def heal(self) -> None:
+        """Remove the partition and release every held message immediately."""
+        self._partition_groups = []
+        held, self._held = self._held, []
+        for message in held:
+            self._schedule_delivery(message, extra_delay=0.0)
+
+    def _crosses_partition(self, sender: ProcessId, receiver: ProcessId) -> bool:
+        if not self._partition_groups:
+            return False
+        group_of: Dict[ProcessId, int] = {}
+        for index, group in enumerate(self._partition_groups):
+            for pid in group:
+                group_of[pid] = index
+        implicit = len(self._partition_groups)
+        sender_group = group_of.get(sender, implicit)
+        receiver_group = group_of.get(receiver, implicit)
+        return sender_group != receiver_group
+
+    # -- sending -------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        """Send ``message``; delivery is scheduled after the model's delay."""
+        if message.receiver not in self._processes:
+            raise UnknownProcessError(f"unknown receiver {message.receiver!r}")
+        if message.sender in self._crashed:
+            # A crashed process performs no further actions.
+            self.messages_dropped += 1
+            return
+        message.sent_at = self.loop.now
+        self.messages_sent += 1
+        self.sent_by_kind[message.kind] += 1
+        delay = self.latency.delay(message.sender, message.receiver, self.loop.now)
+        self._schedule_delivery(message, extra_delay=delay)
+
+    def _schedule_delivery(self, message: Message, extra_delay: VirtualTime) -> None:
+        self.loop.call_later(extra_delay, lambda: self._deliver(message))
+
+    def _deliver(self, message: Message) -> None:
+        if message.receiver in self._crashed:
+            self.messages_dropped += 1
+            return
+        if self._crosses_partition(message.sender, message.receiver):
+            # Hold until the partition heals; links stay reliable.
+            self._held.append(message)
+            return
+        message.delivered_at = self.loop.now
+        self.messages_delivered += 1
+        receiver = self._processes[message.receiver]
+        receiver.deliver(message)
+
+    # -- convenience -----------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        """Snapshot of the traffic counters (useful in benchmarks)."""
+        return {
+            "sent": self.messages_sent,
+            "delivered": self.messages_delivered,
+            "dropped": self.messages_dropped,
+            "held": len(self._held),
+        }
+
+    def reset_stats(self) -> None:
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.sent_by_kind.clear()
+
+
+class ProcessLike:
+    """Structural interface the network expects (see :class:`repro.net.process.Process`)."""
+
+    pid: ProcessId
+
+    def deliver(self, message: Message) -> None:  # pragma: no cover - interface
+        raise NotImplementedError

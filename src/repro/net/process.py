@@ -1,0 +1,217 @@
+"""Base class for simulated processes (servers and clients).
+
+A :class:`Process` owns a handler table mapping message kinds to callbacks
+(plain functions or coroutines) and provides the request/response plumbing the
+protocols are built on:
+
+* :meth:`Process.send` — fire-and-forget message.
+* :meth:`Process.send_to_all` — fire-and-forget broadcast to a set of peers.
+* :meth:`Process.request_all` — send the same request to many peers and
+  obtain a :class:`ResponseCollector`, on which the caller can await "more
+  than f replies", "replies from a weighted quorum", or any other predicate —
+  exactly the ``wait until`` statements of the paper's pseudo-code.
+
+Crash semantics: once :meth:`Process.crash` is called (usually through
+:meth:`repro.net.network.Network.crash`), the process ignores every delivered
+message and silently refuses to send.
+"""
+
+from __future__ import annotations
+
+import inspect
+import itertools
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.errors import CrashedProcessError
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.simloop import SimFuture, SimLoop
+from repro.types import ProcessId
+
+__all__ = ["Process", "ResponseCollector"]
+
+_request_ids = itertools.count(1)
+
+
+class ResponseCollector:
+    """Accumulates replies to a multicast request.
+
+    The collector exposes *wait conditions* returning :class:`SimFuture`
+    objects; the protocols await them.  A condition is evaluated every time a
+    new reply arrives, so a future returned by :meth:`wait_until` resolves the
+    moment its predicate first holds.
+    """
+
+    def __init__(self, request_id: int, expected: int) -> None:
+        self.request_id = request_id
+        self.expected = expected
+        self.responses: List[Message] = []
+        self._waiters: List[tuple] = []  # (predicate, future)
+
+    # -- feeding ------------------------------------------------------------
+    def add(self, message: Message) -> None:
+        """Record a newly arrived reply and re-evaluate pending wait conditions."""
+        self.responses.append(message)
+        still_waiting = []
+        for predicate, future in self._waiters:
+            if future.done():
+                continue
+            if predicate(self.responses):
+                future.set_result(list(self.responses))
+            else:
+                still_waiting.append((predicate, future))
+        self._waiters = still_waiting
+
+    # -- waiting ------------------------------------------------------------
+    def wait_until(
+        self, predicate: Callable[[List[Message]], bool], name: str = "condition"
+    ) -> SimFuture:
+        """Future resolving with the reply list once ``predicate(replies)`` holds."""
+        future = SimFuture(name=f"collector.wait({name})")
+        if predicate(self.responses):
+            future.set_result(list(self.responses))
+        else:
+            self._waiters.append((predicate, future))
+        return future
+
+    def wait_for_count(self, count: int) -> SimFuture:
+        """Future resolving once at least ``count`` replies have arrived."""
+        return self.wait_until(lambda replies: len(replies) >= count, name=f">={count}")
+
+    def wait_for_senders(
+        self, predicate: Callable[[List[ProcessId]], bool], name: str = "senders"
+    ) -> SimFuture:
+        """Like :meth:`wait_until` but the predicate sees the sender ids only."""
+        return self.wait_until(
+            lambda replies: predicate([reply.sender for reply in replies]), name=name
+        )
+
+    def senders(self) -> List[ProcessId]:
+        return [reply.sender for reply in self.responses]
+
+
+class Process:
+    """A simulated process attached to a :class:`~repro.net.network.Network`."""
+
+    def __init__(self, pid: ProcessId, network: Network) -> None:
+        self.pid = pid
+        self.network = network
+        self.loop: SimLoop = network.loop
+        self.crashed = False
+        self._handlers: Dict[str, Callable[[Message], Any]] = {}
+        self._pending: Dict[int, ResponseCollector] = {}
+        network.register(self)
+
+    # -- handler registration ----------------------------------------------
+    def register_handler(self, kind: str, handler: Callable[[Message], Any]) -> None:
+        """Install ``handler`` for messages of type ``kind``.
+
+        The handler may be a plain function or an ``async`` coroutine
+        function; coroutines are spawned as tasks so a slow handler never
+        blocks delivery of other messages.
+        """
+        self._handlers[kind] = handler
+
+    # -- fault injection ------------------------------------------------------
+    def crash(self) -> None:
+        """Crash-stop this process (it also tells the network)."""
+        self.crashed = True
+        if not self.network.is_crashed(self.pid):
+            self.network.crash(self.pid)
+
+    def _ensure_alive(self) -> None:
+        if self.crashed or self.network.is_crashed(self.pid):
+            raise CrashedProcessError(f"process {self.pid} has crashed")
+
+    # -- sending ---------------------------------------------------------------
+    def send(
+        self,
+        receiver: ProcessId,
+        kind: str,
+        payload: Optional[Dict[str, Any]] = None,
+        request_id: Optional[int] = None,
+        is_reply: bool = False,
+    ) -> None:
+        """Send a one-way message (no reply expected by the transport layer)."""
+        if self.crashed or self.network.is_crashed(self.pid):
+            return
+        message = Message(
+            sender=self.pid,
+            receiver=receiver,
+            kind=kind,
+            payload=payload or {},
+            request_id=request_id,
+            is_reply=is_reply,
+        )
+        self.network.send(message)
+
+    def reply(self, to: Message, kind: str, payload: Optional[Dict[str, Any]] = None) -> None:
+        """Send a reply correlated with the request ``to``."""
+        if self.crashed or self.network.is_crashed(self.pid):
+            return
+        self.network.send(
+            Message(
+                sender=self.pid,
+                receiver=to.sender,
+                kind=kind,
+                payload=payload or {},
+                request_id=to.request_id,
+                is_reply=True,
+            )
+        )
+
+    def send_to_all(
+        self,
+        receivers: Iterable[ProcessId],
+        kind: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Fire-and-forget the same message to every listed receiver."""
+        for receiver in receivers:
+            self.send(receiver, kind, payload)
+
+    def request_all(
+        self,
+        receivers: Iterable[ProcessId],
+        kind: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> ResponseCollector:
+        """Send a correlated request to every receiver; collect the replies.
+
+        Responders must answer with :meth:`reply` (or ``Message.reply``) so
+        the correlation id round-trips.  The process keeps the collector
+        registered forever — late replies are still recorded, which matches
+        the asynchronous model (there is no notion of "the request timed
+        out"), and the memory cost is irrelevant for simulations.
+        """
+        self._ensure_alive()
+        receivers = list(receivers)
+        request_id = next(_request_ids)
+        collector = ResponseCollector(request_id, expected=len(receivers))
+        self._pending[request_id] = collector
+        for receiver in receivers:
+            self.send(receiver, kind, payload, request_id=request_id)
+        return collector
+
+    # -- receiving -----------------------------------------------------------
+    def deliver(self, message: Message) -> None:
+        """Entry point called by the network when a message arrives."""
+        if self.crashed or self.network.is_crashed(self.pid):
+            return
+        if message.is_reply and message.request_id in self._pending:
+            self._pending[message.request_id].add(message)
+            return
+        handler = self._handlers.get(message.kind)
+        if handler is None:
+            self.on_unhandled(message)
+            return
+        result = handler(message)
+        if inspect.iscoroutine(result):
+            self.loop.create_task(result, name=f"{self.pid}.{message.kind}")
+
+    def on_unhandled(self, message: Message) -> None:
+        """Hook for messages without a registered handler (default: ignore)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "crashed" if self.crashed else "up"
+        return f"<{type(self).__name__} {self.pid} ({status})>"

@@ -1,0 +1,474 @@
+"""Deterministic virtual-time coroutine scheduler.
+
+The protocols in this library are written as ``async`` coroutines, just like
+the paper's pseudo-code is written with ``wait until`` statements.  Instead of
+running them on ``asyncio`` against wall-clock time, they run on
+:class:`SimLoop`: a small, fully deterministic event loop with a *virtual*
+clock.
+
+Determinism is the property the whole test-suite and benchmark harness lean
+on: two runs with the same seed and the same inputs produce exactly the same
+interleaving, the same message orderings, and the same results.  Determinism
+comes from two rules:
+
+1. every wake-up (timer expiry, future resolution, message delivery) is a
+   heap event keyed by ``(virtual_time, sequence_number)``, where the sequence
+   number is a global insertion counter — ties are broken FIFO; and
+2. the kernel itself never consults a random source; randomness only enters
+   through explicitly seeded latency models.
+
+The public surface mirrors a tiny subset of ``asyncio``:
+
+* :class:`SimFuture` — an awaitable, single-assignment result cell.
+* :class:`SimTask` — a future driving a coroutine.
+* :class:`SimLoop` — ``create_task`` / ``call_later`` / ``sleep`` /
+  ``run_until_complete`` / ``run`` with virtual time.
+* :func:`gather`, :class:`Event`, :class:`Queue` — the small amount of
+  synchronisation machinery the protocols need.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import (
+    Any,
+    Awaitable,
+    Callable,
+    Coroutine,
+    Generator,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.errors import DeadlockError, SimTimeoutError, SimulationError
+from repro.types import VirtualTime
+
+__all__ = [
+    "SimFuture",
+    "SimTask",
+    "SimLoop",
+    "Event",
+    "Queue",
+    "gather",
+]
+
+_PENDING = "PENDING"
+_RESOLVED = "RESOLVED"
+_FAILED = "FAILED"
+_CANCELLED = "CANCELLED"
+
+
+class SimFuture:
+    """A single-assignment result cell that coroutines can ``await``.
+
+    Unlike ``asyncio.Future`` it is not tied to a thread or a running loop;
+    the loop merely schedules the callbacks registered through
+    :meth:`add_done_callback`.
+    """
+
+    __slots__ = ("_state", "_result", "_exception", "_callbacks", "name")
+
+    def __init__(self, name: str = "") -> None:
+        self._state = _PENDING
+        self._result: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: List[Callable[["SimFuture"], None]] = []
+        #: Optional human-readable label, used only in error messages.
+        self.name = name
+
+    # -- state inspection -------------------------------------------------
+    def done(self) -> bool:
+        """True once the future holds a result, an exception, or was cancelled."""
+        return self._state != _PENDING
+
+    def cancelled(self) -> bool:
+        return self._state == _CANCELLED
+
+    def result(self) -> Any:
+        """Return the result, raising if the future failed or is still pending."""
+        if self._state == _RESOLVED:
+            return self._result
+        if self._state == _FAILED:
+            assert self._exception is not None
+            raise self._exception
+        if self._state == _CANCELLED:
+            raise SimulationError(f"future {self.name or id(self)} was cancelled")
+        raise SimulationError(f"future {self.name or id(self)} is not done yet")
+
+    def exception(self) -> Optional[BaseException]:
+        if not self.done():
+            raise SimulationError("future is not done yet")
+        return self._exception
+
+    # -- completion --------------------------------------------------------
+    def set_result(self, value: Any) -> None:
+        self._require_pending()
+        self._state = _RESOLVED
+        self._result = value
+        self._run_callbacks()
+
+    def set_exception(self, exc: BaseException) -> None:
+        self._require_pending()
+        self._state = _FAILED
+        self._exception = exc
+        self._run_callbacks()
+
+    def cancel(self) -> bool:
+        """Cancel the future.  Returns False if it already completed."""
+        if self.done():
+            return False
+        self._state = _CANCELLED
+        self._exception = SimulationError(
+            f"future {self.name or id(self)} was cancelled"
+        )
+        self._run_callbacks()
+        return True
+
+    def _require_pending(self) -> None:
+        if self.done():
+            raise SimulationError(
+                f"future {self.name or id(self)} resolved twice"
+            )
+
+    def _run_callbacks(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_done_callback(self, callback: Callable[["SimFuture"], None]) -> None:
+        """Register ``callback(self)`` to run when the future completes.
+
+        If the future is already done the callback runs immediately; the
+        kernel only ever registers callbacks that re-enter the scheduler, so
+        immediate invocation keeps the event ordering intact.
+        """
+        if self.done():
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    # -- awaitable protocol --------------------------------------------------
+    def __await__(self) -> Generator["SimFuture", None, Any]:
+        if not self.done():
+            yield self
+        return self.result()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SimFuture {self.name or hex(id(self))} {self._state}>"
+
+
+class SimTask(SimFuture):
+    """A future that drives a coroutine to completion on a :class:`SimLoop`."""
+
+    __slots__ = ("_coro", "_loop", "_waiting_on")
+
+    def __init__(
+        self,
+        coro: Coroutine[Any, Any, Any],
+        loop: "SimLoop",
+        name: str = "",
+    ) -> None:
+        super().__init__(name=name or getattr(coro, "__name__", "task"))
+        self._coro = coro
+        self._loop = loop
+        self._waiting_on: Optional[SimFuture] = None
+
+    def _step(self, value: Any = None, exc: Optional[BaseException] = None) -> None:
+        if self.done():
+            return
+        self._waiting_on = None
+        try:
+            if exc is not None:
+                awaited = self._coro.throw(exc)
+            else:
+                awaited = self._coro.send(value)
+        except StopIteration as stop:
+            self.set_result(stop.value)
+            return
+        except BaseException as error:  # noqa: BLE001 - propagate via future
+            self.set_exception(error)
+            return
+
+        if not isinstance(awaited, SimFuture):
+            self.set_exception(
+                SimulationError(
+                    f"task {self.name} awaited a non-SimFuture object: {awaited!r}"
+                )
+            )
+            return
+
+        self._waiting_on = awaited
+        awaited.add_done_callback(self._on_awaited_done)
+
+    def _on_awaited_done(self, future: SimFuture) -> None:
+        if self.done():
+            return
+        error = future.exception() if future.done() else None
+        if error is not None:
+            self._loop._schedule_step(self, None, error)
+        else:
+            self._loop._schedule_step(self, future.result(), None)
+
+    def cancel(self) -> bool:
+        """Cancel the task, throwing ``GeneratorExit`` into the coroutine."""
+        if self.done():
+            return False
+        self._coro.close()
+        return super().cancel()
+
+
+class SimLoop:
+    """The deterministic virtual-time event loop.
+
+    All state transitions happen by draining a single heap of events keyed by
+    ``(time, sequence)``.  :class:`repro.net.network.Network` and the timer
+    helpers below only ever enqueue events through :meth:`call_at`, so the
+    global order of the simulation is exactly the order of the heap.
+    """
+
+    def __init__(self) -> None:
+        self._now: VirtualTime = 0.0
+        self._sequence = 0
+        self._events: List[Tuple[VirtualTime, int, Callable[[], None]]] = []
+        self._tasks: List[SimTask] = []
+
+    # -- clock ---------------------------------------------------------------
+    @property
+    def now(self) -> VirtualTime:
+        """Current virtual time."""
+        return self._now
+
+    # -- scheduling primitives ------------------------------------------------
+    def call_at(self, when: VirtualTime, callback: Callable[[], None]) -> None:
+        """Schedule ``callback()`` at virtual time ``when`` (>= now)."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {when} < now={self._now}"
+            )
+        self._sequence += 1
+        heapq.heappush(self._events, (when, self._sequence, callback))
+
+    def call_later(self, delay: VirtualTime, callback: Callable[[], None]) -> None:
+        """Schedule ``callback()`` after ``delay`` units of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self.call_at(self._now + delay, callback)
+
+    def create_task(
+        self, coro: Coroutine[Any, Any, Any], name: str = ""
+    ) -> SimTask:
+        """Wrap a coroutine into a task and schedule its first step."""
+        task = SimTask(coro, self, name=name)
+        self._tasks.append(task)
+        self._schedule_step(task, None, None)
+        return task
+
+    def _schedule_step(
+        self, task: SimTask, value: Any, exc: Optional[BaseException]
+    ) -> None:
+        self.call_at(self._now, lambda: task._step(value, exc))
+
+    # -- timers ---------------------------------------------------------------
+    def sleep(self, delay: VirtualTime) -> SimFuture:
+        """Return a future that resolves after ``delay`` virtual time units."""
+        future = SimFuture(name=f"sleep({delay})")
+        self.call_later(delay, lambda: future.done() or future.set_result(None))
+        return future
+
+    def timeout(self, future: SimFuture, delay: VirtualTime) -> SimFuture:
+        """Wrap ``future`` with a virtual-time timeout.
+
+        The returned future resolves with ``future``'s result, or fails with
+        :class:`~repro.errors.SimTimeoutError` if ``delay`` elapses first.
+        """
+        wrapped = SimFuture(name=f"timeout({future.name}, {delay})")
+
+        def on_done(inner: SimFuture) -> None:
+            if wrapped.done():
+                return
+            error = inner.exception()
+            if error is not None:
+                wrapped.set_exception(error)
+            else:
+                wrapped.set_result(inner.result())
+
+        def on_expire() -> None:
+            if not wrapped.done():
+                wrapped.set_exception(
+                    SimTimeoutError(
+                        f"timed out after {delay} waiting for {future.name}"
+                    )
+                )
+
+        future.add_done_callback(on_done)
+        self.call_later(delay, on_expire)
+        return wrapped
+
+    # -- running ---------------------------------------------------------------
+    def _pop_and_run_one(self) -> None:
+        when, _seq, callback = heapq.heappop(self._events)
+        self._now = when
+        callback()
+
+    def run_until_complete(
+        self,
+        awaitable: Any,
+        max_time: Optional[VirtualTime] = None,
+    ) -> Any:
+        """Drive the loop until ``awaitable`` completes and return its result.
+
+        ``awaitable`` may be a coroutine (it is wrapped into a task) or an
+        existing :class:`SimFuture`.  If the event heap drains before the
+        awaitable completes a :class:`~repro.errors.DeadlockError` is raised:
+        in a deterministic simulation "no more events" means no further
+        progress is possible.  ``max_time`` bounds the virtual time the run
+        may consume, raising :class:`~repro.errors.SimTimeoutError` past it.
+        """
+        if isinstance(awaitable, SimFuture):
+            target = awaitable
+        else:
+            target = self.create_task(awaitable)
+
+        while not target.done():
+            if not self._events:
+                raise DeadlockError(
+                    f"simulation deadlocked at t={self._now}: "
+                    f"no pending events but {target.name!r} is not done"
+                )
+            next_when = self._events[0][0]
+            if max_time is not None and next_when > max_time:
+                raise SimTimeoutError(
+                    f"virtual-time budget {max_time} exhausted "
+                    f"(next event at {next_when})"
+                )
+            self._pop_and_run_one()
+        return target.result()
+
+    def run(self, until: Optional[VirtualTime] = None) -> VirtualTime:
+        """Drain events, optionally only up to virtual time ``until``.
+
+        Returns the virtual time at which the loop stopped.  Unlike
+        :meth:`run_until_complete` this never raises on an empty heap — it is
+        the natural way to "let the system settle".
+        """
+        while self._events:
+            next_when = self._events[0][0]
+            if until is not None and next_when > until:
+                self._now = until
+                return self._now
+            self._pop_and_run_one()
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def pending_event_count(self) -> int:
+        """Number of not-yet-processed events (useful for tests)."""
+        return len(self._events)
+
+
+# ---------------------------------------------------------------------------
+# Synchronisation helpers built on SimFuture
+# ---------------------------------------------------------------------------
+
+
+def gather(loop: SimLoop, awaitables: Iterable[Awaitable[Any]]) -> SimFuture:
+    """Run several coroutines/futures concurrently; resolve with their results.
+
+    The combined future resolves with a list of results in input order once
+    every child is done, or fails with the first exception raised.
+    """
+    children: List[SimFuture] = []
+    for awaitable in awaitables:
+        if isinstance(awaitable, SimFuture):
+            children.append(awaitable)
+        else:
+            children.append(loop.create_task(awaitable))
+
+    combined = SimFuture(name="gather")
+    if not children:
+        combined.set_result([])
+        return combined
+
+    remaining = {"count": len(children)}
+
+    def on_child_done(child: SimFuture) -> None:
+        if combined.done():
+            return
+        error = child.exception()
+        if error is not None:
+            combined.set_exception(error)
+            return
+        remaining["count"] -= 1
+        if remaining["count"] == 0:
+            combined.set_result([c.result() for c in children])
+
+    for child in children:
+        child.add_done_callback(on_child_done)
+    return combined
+
+
+class Event:
+    """A level-triggered event: tasks await :meth:`wait` until :meth:`set`."""
+
+    def __init__(self, name: str = "event") -> None:
+        self._name = name
+        self._is_set = False
+        self._waiters: List[SimFuture] = []
+
+    def is_set(self) -> bool:
+        return self._is_set
+
+    def set(self) -> None:
+        """Mark the event as set and wake every waiter."""
+        self._is_set = True
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            if not waiter.done():
+                waiter.set_result(None)
+
+    def clear(self) -> None:
+        self._is_set = False
+
+    def wait(self) -> SimFuture:
+        """Return a future resolved when (or as soon as) the event is set."""
+        future = SimFuture(name=f"{self._name}.wait")
+        if self._is_set:
+            future.set_result(None)
+        else:
+            self._waiters.append(future)
+        return future
+
+
+class Queue:
+    """An unbounded FIFO queue usable from coroutines (``await queue.get()``)."""
+
+    def __init__(self, name: str = "queue") -> None:
+        self._name = name
+        self._items: List[Any] = []
+        self._getters: List[SimFuture] = []
+
+    def put(self, item: Any) -> None:
+        """Enqueue ``item``, waking the oldest waiting getter if any."""
+        while self._getters:
+            getter = self._getters.pop(0)
+            if not getter.done():
+                getter.set_result(item)
+                return
+        self._items.append(item)
+
+    def get(self) -> SimFuture:
+        """Return a future resolving with the next item (FIFO order)."""
+        future = SimFuture(name=f"{self._name}.get")
+        if self._items:
+            future.set_result(self._items.pop(0))
+        else:
+            self._getters.append(future)
+        return future
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def empty(self) -> bool:
+        return not self._items

@@ -1,0 +1,40 @@
+"""Quorum systems.
+
+The paper's storage protocols are parameterised by a quorum system.  This
+package provides:
+
+* :class:`~repro.quorum.majority.MajorityQuorumSystem` — the regular MQS the
+  paper uses as its baseline.
+* :class:`~repro.quorum.weighted.WeightedMajorityQuorumSystem` — the WMQS of
+  Definition 1, whose weights the reassignment protocols mutate.
+* :class:`~repro.quorum.grid.GridQuorumSystem` and
+  :class:`~repro.quorum.tree.TreeQuorumSystem` — the two non-majority quorum
+  systems mentioned in the introduction, included for completeness and for
+  the analysis benchmarks.
+* :mod:`~repro.quorum.availability` — Property 1 (availability of a WMQS) and
+  related analysis helpers.
+"""
+
+from repro.quorum.base import QuorumSystem
+from repro.quorum.majority import MajorityQuorumSystem
+from repro.quorum.weighted import WeightedMajorityQuorumSystem
+from repro.quorum.grid import GridQuorumSystem
+from repro.quorum.tree import TreeQuorumSystem
+from repro.quorum.availability import (
+    wmqs_is_available,
+    max_tolerable_failures,
+    assert_wmqs_available,
+    minimum_quorum_cardinality,
+)
+
+__all__ = [
+    "QuorumSystem",
+    "MajorityQuorumSystem",
+    "WeightedMajorityQuorumSystem",
+    "GridQuorumSystem",
+    "TreeQuorumSystem",
+    "wmqs_is_available",
+    "max_tolerable_failures",
+    "assert_wmqs_available",
+    "minimum_quorum_cardinality",
+]

@@ -1,0 +1,76 @@
+"""Availability of weighted majority quorum systems (Property 1).
+
+Property 1 of the paper: *a WMQS is available if the sum of the ``f`` greatest
+weights is less than half of the total weight of all servers.*  Equivalently
+(Inequality 2), the total weight of any ``n - f`` servers exceeds half of the
+total weight, so a quorum of correct servers always exists.
+
+These helpers are used everywhere: by the specification checkers (Integrity is
+exactly "Property 1 holds at all times"), by the protocol constructors (to
+validate initial weights), and by the availability benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import IntegrityViolation
+from repro.numerics import strictly_greater, strictly_less
+from repro.types import ProcessId, Weight
+
+__all__ = [
+    "wmqs_is_available",
+    "assert_wmqs_available",
+    "max_tolerable_failures",
+    "minimum_quorum_cardinality",
+]
+
+
+def _top_weights_sum(weights: Mapping[ProcessId, Weight], count: int) -> Weight:
+    return sum(sorted(weights.values(), reverse=True)[:count])
+
+
+def wmqs_is_available(weights: Mapping[ProcessId, Weight], f: int) -> bool:
+    """Property 1: the ``f`` greatest weights sum to less than half the total."""
+    if f < 0:
+        raise ValueError(f"fault threshold must be non-negative, got f={f}")
+    if f == 0:
+        return True
+    if f >= len(weights):
+        return False
+    total = sum(weights.values())
+    return strictly_less(_top_weights_sum(weights, f), total / 2)
+
+
+def assert_wmqs_available(weights: Mapping[ProcessId, Weight], f: int) -> None:
+    """Raise :class:`~repro.errors.IntegrityViolation` if Property 1 fails."""
+    if not wmqs_is_available(weights, f):
+        heaviest = _top_weights_sum(weights, f)
+        total = sum(weights.values())
+        raise IntegrityViolation(
+            f"WMQS unavailable: the {f} greatest weights sum to {heaviest}, "
+            f"which is not < half of the total weight {total}"
+        )
+
+
+def max_tolerable_failures(weights: Mapping[ProcessId, Weight]) -> int:
+    """The largest ``f`` for which the weight map satisfies Property 1."""
+    f = 0
+    while f + 1 < len(weights) and wmqs_is_available(weights, f + 1):
+        f += 1
+    return f
+
+
+def minimum_quorum_cardinality(weights: Mapping[ProcessId, Weight]) -> int:
+    """Size of the smallest weighted quorum under ``weights``.
+
+    Greedy by descending weight: the fewest servers needed to exceed half of
+    the total weight.
+    """
+    total = sum(weights.values())
+    accumulated = 0.0
+    for count, weight in enumerate(sorted(weights.values(), reverse=True), start=1):
+        accumulated += weight
+        if strictly_greater(accumulated, total / 2):
+            return count
+    raise IntegrityViolation("total weight is zero; no quorum exists")

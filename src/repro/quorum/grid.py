@@ -1,0 +1,65 @@
+"""Grid quorum system (Naor & Wool [2]).
+
+Servers are arranged in an ``rows x cols`` grid; a quorum is any subset
+containing one full row plus one representative from every row ("row-cover"
+variant).  Grids are mentioned in the paper's introduction as an alternative
+to majority systems; they are included here for the quorum-analysis
+benchmarks (load and quorum-size comparisons).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.quorum.base import QuorumSystem
+from repro.types import ProcessId
+
+__all__ = ["GridQuorumSystem"]
+
+
+class GridQuorumSystem(QuorumSystem):
+    """A row-cover grid quorum system.
+
+    A subset is a quorum when it contains (a) every element of at least one
+    row and (b) at least one element of every row.  Any two such quorums
+    intersect: the full row of one quorum meets the row-cover of the other.
+    """
+
+    def __init__(
+        self,
+        servers: Sequence[ProcessId],
+        cols: int = 0,
+    ) -> None:
+        super().__init__(servers)
+        n = len(self.servers)
+        if cols <= 0:
+            cols = max(1, int(math.isqrt(n)))
+        if cols > n:
+            raise ConfigurationError(f"cols={cols} exceeds server count {n}")
+        self.cols = cols
+        self.rows: List[Tuple[ProcessId, ...]] = []
+        for start in range(0, n, cols):
+            self.rows.append(tuple(self.servers[start : start + cols]))
+
+    def row_of(self, server: ProcessId) -> int:
+        """Index of the row containing ``server``."""
+        for index, row in enumerate(self.rows):
+            if server in row:
+                return index
+        raise ConfigurationError(f"unknown server {server!r}")
+
+    def is_quorum(self, subset: Iterable[ProcessId]) -> bool:
+        members: Set[ProcessId] = self._validate_subset(subset)
+        covers_all_rows = all(
+            any(server in members for server in row) for row in self.rows
+        )
+        if not covers_all_rows:
+            return False
+        has_full_row = any(set(row) <= members for row in self.rows)
+        return has_full_row
+
+    def typical_quorum_size(self) -> int:
+        """Size of the canonical quorum: one full row + one per other row."""
+        return self.cols + max(0, len(self.rows) - 1)

@@ -1,0 +1,35 @@
+"""The regular majority quorum system (MQS).
+
+Every quorum is a strict majority of the servers.  MQS is the baseline the
+paper's introduction contrasts WMQS against: simple and optimally
+fault-tolerant (``f < n/2``) but oblivious to server heterogeneity.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.quorum.base import QuorumSystem
+from repro.types import ProcessId
+
+__all__ = ["MajorityQuorumSystem"]
+
+
+class MajorityQuorumSystem(QuorumSystem):
+    """Quorums are the subsets containing a strict majority of servers."""
+
+    def __init__(self, servers: Sequence[ProcessId]) -> None:
+        super().__init__(servers)
+        self._threshold = len(self.servers) // 2  # strict majority: > n/2
+
+    def is_quorum(self, subset: Iterable[ProcessId]) -> bool:
+        members = self._validate_subset(subset)
+        return len(members) > len(self.servers) / 2
+
+    def quorum_size(self) -> int:
+        """The (uniform) size of a minimal majority quorum: ``floor(n/2) + 1``."""
+        return len(self.servers) // 2 + 1
+
+    def max_tolerable_failures(self) -> int:
+        """The optimal crash threshold ``f = ceil(n/2) - 1``."""
+        return (len(self.servers) - 1) // 2

@@ -1,0 +1,72 @@
+"""Tree quorum system (Agrawal & El Abbadi [3]).
+
+Servers are placed on a complete binary tree; a quorum is obtained by the
+recursive rule "take the root and a quorum of one subtree, or quorums of both
+subtrees".  Included, like grids, because the paper's introduction cites trees
+as one of the classical alternatives to majority quorums; the analysis
+benchmarks compare their quorum sizes against MQS/WMQS.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.quorum.base import QuorumSystem
+from repro.types import ProcessId
+
+__all__ = ["TreeQuorumSystem"]
+
+
+class _Node:
+    __slots__ = ("server", "left", "right")
+
+    def __init__(self, server: ProcessId) -> None:
+        self.server = server
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+
+
+class TreeQuorumSystem(QuorumSystem):
+    """Quorums defined by the classical tree-quorum recursion."""
+
+    def __init__(self, servers: Sequence[ProcessId]) -> None:
+        super().__init__(servers)
+        self.root = self._build(list(self.servers))
+
+    def _build(self, servers: List[ProcessId]) -> Optional[_Node]:
+        if not servers:
+            return None
+        # Heap-style layout: servers[0] is the root, children recurse on the
+        # remaining ids split evenly so the tree stays balanced.
+        node = _Node(servers[0])
+        rest = servers[1:]
+        half = len(rest) // 2
+        node.left = self._build(rest[:half])
+        node.right = self._build(rest[half:])
+        return node
+
+    def _covered(self, node: Optional[_Node], members: Set[ProcessId]) -> bool:
+        """The tree-quorum recursion.
+
+        A subtree is "covered" when the subset contains a quorum of it:
+        either its root plus a covered child (or the root alone for leaves),
+        or both children covered.
+        """
+        if node is None:
+            # An empty subtree is trivially covered.
+            return True
+        left, right = node.left, node.right
+        if node.server in members:
+            if left is None and right is None:
+                return True
+            return self._covered(left, members) or self._covered(right, members)
+        if left is None or right is None:
+            # Cannot bypass a missing root without two children to recurse on.
+            return False
+        return self._covered(left, members) and self._covered(right, members)
+
+    def is_quorum(self, subset: Iterable[ProcessId]) -> bool:
+        members = self._validate_subset(subset)
+        if not members:
+            return False
+        return self._covered(self.root, members)

@@ -1,0 +1,91 @@
+"""The weighted majority quorum system (WMQS) of Definition 1.
+
+Each server carries a weight; a subset is a quorum when its total weight
+exceeds half of the total weight of all servers.  The weight map is
+*mutable*: the dynamic-weighted storage of Section VII re-points its quorum
+system at a new weight map whenever it learns of completed weight changes, so
+this class supports both an immutable construction (from a dict) and cheap
+re-derivation via :meth:`with_weights`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.numerics import strictly_greater
+from repro.quorum.base import QuorumSystem
+from repro.types import ProcessId, Weight
+
+__all__ = ["WeightedMajorityQuorumSystem"]
+
+
+class WeightedMajorityQuorumSystem(QuorumSystem):
+    """Quorums are subsets whose total weight exceeds half the total weight."""
+
+    def __init__(self, weights: Mapping[ProcessId, Weight]) -> None:
+        if not weights:
+            raise ConfigurationError("WMQS needs at least one weighted server")
+        for server, weight in weights.items():
+            if weight < 0:
+                raise ConfigurationError(
+                    f"server {server!r} has negative weight {weight}"
+                )
+        super().__init__(tuple(weights))
+        self.weights: Dict[ProcessId, Weight] = dict(weights)
+
+    # -- construction helpers ---------------------------------------------------
+    @classmethod
+    def uniform(cls, servers: Sequence[ProcessId], weight: Weight = 1.0):
+        """A WMQS where every server holds the same weight (equivalent to MQS)."""
+        return cls({server: weight for server in servers})
+
+    def with_weights(
+        self, weights: Mapping[ProcessId, Weight]
+    ) -> "WeightedMajorityQuorumSystem":
+        """Return a new WMQS over the same servers with updated weights."""
+        if set(weights) != set(self.servers):
+            raise ConfigurationError(
+                "with_weights must cover exactly the same server set"
+            )
+        return WeightedMajorityQuorumSystem(weights)
+
+    # -- weights ----------------------------------------------------------------
+    def total_weight(self) -> Weight:
+        return sum(self.weights.values())
+
+    def weight_of(self, subset: Iterable[ProcessId]) -> Weight:
+        members = self._validate_subset(subset)
+        return sum(self.weights[server] for server in members)
+
+    # -- quorum test -------------------------------------------------------------
+    def is_quorum(self, subset: Iterable[ProcessId]) -> bool:
+        members = self._validate_subset(subset)
+        return strictly_greater(self.weight_of(members), self.total_weight() / 2)
+
+    # -- analysis ----------------------------------------------------------------
+    def heaviest_servers(self, count: int) -> Tuple[ProcessId, ...]:
+        """The ``count`` servers with the greatest weights (ties by id)."""
+        ranked = sorted(self.weights.items(), key=lambda item: (-item[1], item[0]))
+        return tuple(server for server, _ in ranked[:count])
+
+    def smallest_quorum(self) -> Tuple[ProcessId, ...]:
+        """A minimum-cardinality quorum (greedy by descending weight).
+
+        For weighted majority systems the greedy choice — keep adding the
+        heaviest remaining server until the subset's weight exceeds half the
+        total — yields a quorum of minimum cardinality.
+        """
+        ranked = sorted(self.weights.items(), key=lambda item: (-item[1], item[0]))
+        chosen = []
+        accumulated = 0.0
+        half = self.total_weight() / 2
+        for server, weight in ranked:
+            chosen.append(server)
+            accumulated += weight
+            if strictly_greater(accumulated, half):
+                return tuple(chosen)
+        raise ConfigurationError("total weight is zero; no quorum exists")
+
+    def smallest_quorum_size(self) -> int:
+        return len(self.smallest_quorum())

@@ -1,0 +1,52 @@
+"""Common interface over the three reassignment protocols.
+
+Each protocol exposes a per-server *endpoint* with a single coroutine:
+``request_transfer(target, delta)``.  The endpoint reports whether the
+reassignment took effect, how long it took to complete, and the weight map
+the issuing server observes afterwards — the three quantities the E7
+benchmark compares across protocols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.types import ProcessId, VirtualTime, Weight
+
+__all__ = ["ReassignmentResult", "ReassignmentEndpoint"]
+
+
+@dataclass(frozen=True)
+class ReassignmentResult:
+    """Outcome of one reassignment request, protocol-agnostic."""
+
+    protocol: str
+    issuer: ProcessId
+    target: ProcessId
+    delta: Weight
+    effective: bool
+    started_at: VirtualTime
+    completed_at: VirtualTime
+    weights_after: Dict[ProcessId, Weight]
+
+    @property
+    def latency(self) -> VirtualTime:
+        return self.completed_at - self.started_at
+
+
+class ReassignmentEndpoint:
+    """Per-server handle used by the benchmark harness."""
+
+    protocol_name = "abstract"
+
+    async def request_transfer(
+        self, target: ProcessId, delta: Weight
+    ) -> ReassignmentResult:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def observed_weights(self) -> Dict[ProcessId, Weight]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def observed_total_weight(self) -> Weight:
+        return sum(self.observed_weights().values())

@@ -1,0 +1,38 @@
+"""Adapter exposing the paper's protocol through the common endpoint interface."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.protocol import ReassignmentServer
+from repro.reassign.base import ReassignmentEndpoint, ReassignmentResult
+from repro.types import ProcessId, Weight
+
+__all__ = ["RestrictedPairwiseEndpoint"]
+
+
+class RestrictedPairwiseEndpoint(ReassignmentEndpoint):
+    """Wrap a :class:`~repro.core.protocol.ReassignmentServer` (Algorithm 4)."""
+
+    protocol_name = "restricted-pairwise (paper)"
+
+    def __init__(self, server: ReassignmentServer) -> None:
+        self.server = server
+
+    async def request_transfer(
+        self, target: ProcessId, delta: Weight
+    ) -> ReassignmentResult:
+        outcome = await self.server.transfer(target, delta)
+        return ReassignmentResult(
+            protocol=self.protocol_name,
+            issuer=self.server.pid,
+            target=target,
+            delta=delta,
+            effective=outcome.effective,
+            started_at=outcome.started_at,
+            completed_at=outcome.completed_at,
+            weights_after=self.server.local_weights(),
+        )
+
+    def observed_weights(self) -> Dict[ProcessId, Weight]:
+        return self.server.local_weights()

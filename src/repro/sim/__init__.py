@@ -1,0 +1,31 @@
+"""Simulation and experiment harness.
+
+* :mod:`repro.sim.cluster` — wire up a loop, a network, servers and clients
+  for any of the storage variants in one call.
+* :mod:`repro.sim.workload` — seeded read/write workload generators.
+* :mod:`repro.sim.failures` — crash and slowdown schedules.
+* :mod:`repro.sim.metrics` — latency summaries (mean, percentiles).
+* :mod:`repro.sim.runner` — run a workload against a cluster and collect a
+  :class:`~repro.sim.runner.RunReport`.
+"""
+
+from repro.sim.cluster import Cluster, build_dynamic_cluster, build_static_cluster
+from repro.sim.workload import Operation, Workload, uniform_workload
+from repro.sim.failures import FailureSchedule, CrashEvent
+from repro.sim.metrics import LatencySummary, summarize
+from repro.sim.runner import RunReport, run_workload
+
+__all__ = [
+    "Cluster",
+    "build_dynamic_cluster",
+    "build_static_cluster",
+    "Operation",
+    "Workload",
+    "uniform_workload",
+    "FailureSchedule",
+    "CrashEvent",
+    "LatencySummary",
+    "summarize",
+    "RunReport",
+    "run_workload",
+]

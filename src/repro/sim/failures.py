@@ -1,0 +1,51 @@
+"""Failure schedules: crashes at given virtual times.
+
+Slowdowns are expressed through :class:`repro.net.latency.SlowdownLatency`
+(they are a property of the links, not an event), so this module only deals
+with crash-stop events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.net.network import Network
+from repro.net.simloop import SimLoop
+from repro.types import ProcessId, VirtualTime
+
+__all__ = ["CrashEvent", "FailureSchedule"]
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """Crash ``process`` at virtual time ``at``."""
+
+    process: ProcessId
+    at: VirtualTime
+
+
+@dataclass
+class FailureSchedule:
+    """A set of crash events that can be armed on a network."""
+
+    events: List[CrashEvent] = field(default_factory=list)
+
+    def crash(self, process: ProcessId, at: VirtualTime) -> "FailureSchedule":
+        """Add a crash event (fluent style)."""
+        if at < 0:
+            raise ConfigurationError("crash times must be non-negative")
+        self.events.append(CrashEvent(process=process, at=at))
+        return self
+
+    def crashed_by(self, time: VirtualTime) -> Sequence[ProcessId]:
+        return tuple(event.process for event in self.events if event.at <= time)
+
+    def arm(self, loop: SimLoop, network: Network) -> None:
+        """Schedule every crash event on the loop."""
+        for event in self.events:
+            loop.call_at(event.at, lambda pid=event.process: network.crash(pid))
+
+    def max_simultaneous_crashes(self) -> int:
+        return len({event.process for event in self.events})

@@ -1,0 +1,59 @@
+"""Latency summaries used by the runner and the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LatencySummary", "percentile", "summarize"]
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile (``fraction`` in [0, 1])."""
+    if not samples:
+        raise ConfigurationError("cannot take a percentile of no samples")
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigurationError("fraction must be within [0, 1]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    weight = position - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Mean / median / p95 / p99 / max of a latency sample set."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    p99: float
+    maximum: float
+
+    def as_row(self) -> str:
+        return (
+            f"n={self.count:5d}  mean={self.mean:8.3f}  median={self.median:8.3f}  "
+            f"p95={self.p95:8.3f}  p99={self.p99:8.3f}  max={self.maximum:8.3f}"
+        )
+
+
+def summarize(samples: Iterable[float]) -> LatencySummary:
+    """Summarise a collection of latency samples."""
+    values: List[float] = list(samples)
+    if not values:
+        raise ConfigurationError("cannot summarise an empty sample set")
+    return LatencySummary(
+        count=len(values),
+        mean=sum(values) / len(values),
+        median=percentile(values, 0.5),
+        p95=percentile(values, 0.95),
+        p99=percentile(values, 0.99),
+        maximum=max(values),
+    )

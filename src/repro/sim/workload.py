@@ -1,0 +1,87 @@
+"""Seeded read/write workload generation."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.types import ProcessId, VirtualTime
+
+__all__ = ["Operation", "Workload", "uniform_workload"]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One client operation: a read, or a write of ``value``."""
+
+    client: ProcessId
+    kind: str  # "read" | "write"
+    value: Optional[str]
+    issue_after: VirtualTime  # think time before issuing, relative to the previous op
+
+
+@dataclass
+class Workload:
+    """A per-client sequence of operations (clients run their sequences concurrently)."""
+
+    operations: List[Operation] = field(default_factory=list)
+
+    def for_client(self, client: ProcessId) -> List[Operation]:
+        return [op for op in self.operations if op.client == client]
+
+    def clients(self) -> Sequence[ProcessId]:
+        seen = []
+        for op in self.operations:
+            if op.client not in seen:
+                seen.append(op.client)
+        return tuple(seen)
+
+    def counts(self) -> dict:
+        reads = sum(1 for op in self.operations if op.kind == "read")
+        writes = len(self.operations) - reads
+        return {"reads": reads, "writes": writes, "total": len(self.operations)}
+
+
+def uniform_workload(
+    clients: Sequence[ProcessId],
+    operations_per_client: int,
+    read_ratio: float = 0.5,
+    mean_think_time: VirtualTime = 1.0,
+    seed: int = 0,
+) -> Workload:
+    """A uniformly random mix of reads and writes with exponential think times.
+
+    The first operation of the first client is always a write, so reads never
+    observe the "unwritten" initial value.
+    """
+    if not clients:
+        raise ConfigurationError("need at least one client")
+    if operations_per_client < 1:
+        raise ConfigurationError("need at least one operation per client")
+    if not 0.0 <= read_ratio <= 1.0:
+        raise ConfigurationError("read_ratio must be within [0, 1]")
+    rng = random.Random(seed)
+    operations: List[Operation] = []
+    value_counter = 0
+    for client_index, client in enumerate(clients):
+        for op_index in range(operations_per_client):
+            force_write = client_index == 0 and op_index == 0
+            is_read = (not force_write) and rng.random() < read_ratio
+            think = rng.expovariate(1.0 / mean_think_time) if mean_think_time > 0 else 0.0
+            if is_read:
+                operations.append(
+                    Operation(client=client, kind="read", value=None, issue_after=think)
+                )
+            else:
+                value_counter += 1
+                operations.append(
+                    Operation(
+                        client=client,
+                        kind="write",
+                        value=f"value-{client}-{value_counter}",
+                        issue_after=think,
+                    )
+                )
+    return Workload(operations=operations)

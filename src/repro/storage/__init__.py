@@ -1,0 +1,24 @@
+"""Atomic-storage baselines.
+
+* :mod:`repro.storage.abd` — the classical multi-writer ABD register [26]
+  parameterised by a static quorum system; instantiated with
+  :class:`~repro.quorum.majority.MajorityQuorumSystem` it is the MQS baseline
+  of the paper's introduction, with a static
+  :class:`~repro.quorum.weighted.WeightedMajorityQuorumSystem` it is the
+  static-weight WMQS storage (WHEAT-style) the dynamic variant improves on.
+* :mod:`repro.storage.reconfigurable` — a simplified reconfigurable atomic
+  storage used for the Section VIII availability comparison (E8).
+"""
+
+from repro.storage.abd import StaticQuorumStorageServer, StaticQuorumStorageClient
+from repro.storage.reconfigurable import (
+    ReconfigurableStorageServer,
+    ReconfigurableStorageClient,
+)
+
+__all__ = [
+    "StaticQuorumStorageServer",
+    "StaticQuorumStorageClient",
+    "ReconfigurableStorageServer",
+    "ReconfigurableStorageClient",
+]

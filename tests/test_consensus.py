@@ -1,0 +1,176 @@
+"""Tests for the consensus substrate (Paxos and the sequencer)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus.paxos import PaxosNode
+from repro.consensus.sequencer import Sequencer, TotalOrderClient
+from repro.consensus.spec import (
+    ConsensusResult,
+    check_agreement,
+    check_termination,
+    check_validity,
+)
+from repro.errors import ConfigurationError
+from repro.net.latency import ConstantLatency, UniformLatency
+from repro.net.network import Network
+from repro.net.process import Process
+from repro.net.simloop import SimLoop, gather
+
+
+def build_paxos(n, latency=None, seed=0):
+    loop = SimLoop()
+    network = Network(loop, latency or UniformLatency(0.5, 2.0, seed=seed))
+    participants = [f"p{i}" for i in range(1, n + 1)]
+    nodes = {
+        pid: PaxosNode(pid, network, participants, seed=seed) for pid in participants
+    }
+    return loop, network, nodes
+
+
+class TestConsensusSpecHelpers:
+    def test_agreement_checker(self):
+        results = [
+            ConsensusResult("p1", "a", "x", 1.0),
+            ConsensusResult("p2", "b", "x", 2.0),
+        ]
+        assert check_agreement(results)
+        results.append(ConsensusResult("p3", "c", "y", 3.0))
+        assert not check_agreement(results)
+
+    def test_validity_checker(self):
+        results = [ConsensusResult("p1", "a", "a", 1.0)]
+        assert check_validity(results)
+        assert not check_validity([ConsensusResult("p1", "a", "never-proposed", 1.0)])
+
+    def test_termination_checker(self):
+        results = [ConsensusResult("p1", "a", "a", 1.0)]
+        assert check_termination(results, ["p1"])
+        assert not check_termination(results, ["p1", "p2"])
+
+
+class TestPaxos:
+    def test_single_proposer_decides_its_value(self):
+        loop, _, nodes = build_paxos(3)
+
+        result = loop.run_until_complete(nodes["p1"].propose("only-value"))
+        assert result.decided == "only-value"
+
+    def test_concurrent_proposers_agree(self):
+        loop, _, nodes = build_paxos(5, seed=3)
+
+        results = loop.run_until_complete(
+            gather(loop, [nodes[f"p{i}"].propose(f"v{i}") for i in range(1, 6)])
+        )
+        assert check_agreement(results)
+        assert check_validity(results)
+        assert check_termination(results, [f"p{i}" for i in range(1, 6)])
+
+    def test_agreement_with_minority_crashes(self):
+        loop, network, nodes = build_paxos(5, seed=5)
+        network.crash("p4")
+        network.crash("p5")
+
+        results = loop.run_until_complete(
+            gather(loop, [nodes[f"p{i}"].propose(f"v{i}") for i in range(1, 4)])
+        )
+        assert check_agreement(results)
+
+    def test_learner_catches_decision_without_proposing(self):
+        loop, _, nodes = build_paxos(3, seed=1)
+
+        async def go():
+            await nodes["p1"].propose("decided")
+            return await nodes["p3"].decided
+
+        assert loop.run_until_complete(go()) == "decided"
+
+    def test_non_participant_rejected(self):
+        loop = SimLoop()
+        network = Network(loop, ConstantLatency(1.0))
+        with pytest.raises(ConfigurationError):
+            PaxosNode("outsider", network, ["p1", "p2"])
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_agreement_across_schedules(self, seed):
+        loop, _, nodes = build_paxos(4, seed=seed)
+        results = loop.run_until_complete(
+            gather(loop, [nodes[f"p{i}"].propose(i) for i in range(1, 5)])
+        )
+        assert check_agreement(results)
+        assert results[0].decided in {1, 2, 3, 4}
+
+
+class StateMachineReplica(Process):
+    """Tiny replica used to exercise the total-order client."""
+
+    def __init__(self, pid, network, sequencer):
+        super().__init__(pid, network)
+        self.log = []
+        self.order = TotalOrderClient(self, sequencer, self._apply)
+
+    def _apply(self, submitter, command):
+        self.log.append((submitter, command))
+        return len(self.log)
+
+
+def build_sequencer_cluster(n_replicas):
+    loop = SimLoop()
+    network = Network(loop, UniformLatency(0.5, 1.5, seed=2))
+    replica_ids = [f"r{i}" for i in range(1, n_replicas + 1)]
+    sequencer = Sequencer("seq", network, replica_ids)
+    replicas = {pid: StateMachineReplica(pid, network, "seq") for pid in replica_ids}
+    return loop, network, sequencer, replicas
+
+
+class TestSequencer:
+    def test_all_replicas_apply_in_the_same_order(self):
+        loop, _, sequencer, replicas = build_sequencer_cluster(4)
+
+        async def submit(replica, count):
+            for index in range(count):
+                await replica.order.submit(f"{replica.pid}-cmd{index}")
+
+        loop.run_until_complete(
+            gather(loop, [submit(replica, 3) for replica in replicas.values()])
+        )
+        loop.run()
+        logs = [replica.log for replica in replicas.values()]
+        assert all(log == logs[0] for log in logs)
+        assert len(logs[0]) == 12
+
+    def test_submit_resolves_with_apply_result(self):
+        loop, _, _, replicas = build_sequencer_cluster(2)
+
+        async def go():
+            first = await replicas["r1"].order.submit("a")
+            second = await replicas["r1"].order.submit("b")
+            return first, second
+
+        first, second = loop.run_until_complete(go())
+        assert (first, second) == (1, 2)
+
+    def test_sequencer_log_matches_applied_count(self):
+        loop, _, sequencer, replicas = build_sequencer_cluster(3)
+
+        async def go():
+            for index in range(5):
+                await replicas["r2"].order.submit(index)
+
+        loop.run_until_complete(go())
+        loop.run()
+        assert len(sequencer.ordered_log) == 5
+        assert all(replica.order.applied_count == 5 for replica in replicas.values())
+
+    def test_crashed_sequencer_blocks_submissions(self):
+        from repro.errors import DeadlockError
+
+        loop, network, sequencer, replicas = build_sequencer_cluster(3)
+        network.crash("seq")
+
+        async def go():
+            await replicas["r1"].order.submit("stuck")
+
+        with pytest.raises(DeadlockError):
+            loop.run_until_complete(go())

@@ -1,0 +1,242 @@
+"""Tests for the dynamic-weighted atomic storage (Algorithms 5 and 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.spec import SystemConfig
+from repro.core.storage import (
+    DynamicWeightedStorageClient,
+    DynamicWeightedStorageServer,
+)
+from repro.errors import ConfigurationError
+from repro.net.latency import ConstantLatency, UniformLatency
+from repro.net.network import Network
+from repro.net.simloop import SimLoop, gather
+
+from tests.conftest import check_atomic_history, history_from_records
+
+
+def build_storage_cluster(n, f, latency=None, clients=2):
+    loop = SimLoop()
+    network = Network(loop, latency or ConstantLatency(1.0))
+    config = SystemConfig.uniform(n, f=f)
+    servers = {
+        pid: DynamicWeightedStorageServer(pid, network, config) for pid in config.servers
+    }
+    client_map = {
+        f"c{i}": DynamicWeightedStorageClient(f"c{i}", network, config)
+        for i in range(1, clients + 1)
+    }
+    return loop, network, config, servers, client_map
+
+
+class TestReadWriteBasics:
+    def test_read_of_unwritten_register_returns_none(self):
+        loop, _, _, _, clients = build_storage_cluster(3, 1)
+        assert loop.run_until_complete(clients["c1"].read()) is None
+
+    def test_read_returns_last_written_value(self):
+        loop, _, _, _, clients = build_storage_cluster(5, 1)
+
+        async def go():
+            await clients["c1"].write("alpha")
+            await clients["c1"].write("beta")
+            return await clients["c2"].read()
+
+        assert loop.run_until_complete(go()) == "beta"
+
+    def test_write_of_none_rejected(self):
+        loop, _, _, _, clients = build_storage_cluster(3, 1)
+
+        async def go():
+            await clients["c1"].write(None)
+
+        with pytest.raises(ConfigurationError):
+            loop.run_until_complete(go())
+
+    def test_multi_writer_tags_are_ordered_by_writer_id(self):
+        loop, _, _, _, clients = build_storage_cluster(5, 1)
+
+        async def go():
+            await clients["c1"].write("from-c1")
+            await clients["c2"].write("from-c2")
+            return await clients["c1"].read()
+
+        assert loop.run_until_complete(go()) == "from-c2"
+
+    def test_operation_records_are_kept(self):
+        loop, _, _, _, clients = build_storage_cluster(3, 1)
+
+        async def go():
+            await clients["c1"].write("x")
+            await clients["c1"].read()
+
+        loop.run_until_complete(go())
+        kinds = [record.kind for record in clients["c1"].history]
+        assert kinds == ["write", "read"]
+        assert all(record.latency > 0 for record in clients["c1"].history)
+
+    def test_reads_survive_f_crashes(self):
+        loop, network, _, _, clients = build_storage_cluster(5, 2)
+
+        async def go():
+            await clients["c1"].write("durable")
+            network.crash("s4")
+            network.crash("s5")
+            return await clients["c2"].read()
+
+        assert loop.run_until_complete(go()) == "durable"
+
+
+class TestAtomicity:
+    def test_concurrent_clients_histories_are_atomic(self):
+        loop, _, _, _, clients = build_storage_cluster(
+            5, 2, latency=UniformLatency(0.5, 2.5, seed=42), clients=4
+        )
+
+        async def writer(client, prefix, count):
+            for index in range(count):
+                await client.write(f"{prefix}-{index}")
+                await loop.sleep(0.3)
+
+        async def reader(client, count):
+            for _ in range(count):
+                await client.read()
+                await loop.sleep(0.2)
+
+        loop.run_until_complete(
+            gather(
+                loop,
+                [
+                    writer(clients["c1"], "a", 6),
+                    writer(clients["c2"], "b", 6),
+                    reader(clients["c3"], 10),
+                    reader(clients["c4"], 10),
+                ],
+            )
+        )
+        entries = []
+        for client in clients.values():
+            entries.extend(history_from_records(client.history))
+        assert check_atomic_history(entries) == []
+
+    def test_atomicity_with_concurrent_transfers(self):
+        """Definition 6 holds while weights are being reassigned mid-workload."""
+        loop, _, _, servers, clients = build_storage_cluster(
+            7, 2, latency=UniformLatency(0.5, 2.0, seed=7), clients=3
+        )
+
+        async def workload(client, prefix):
+            for index in range(5):
+                await client.write(f"{prefix}-{index}")
+                value = await client.read()
+                assert value is not None
+
+        async def reassigner():
+            await loop.sleep(1.0)
+            await servers["s4"].transfer("s1", 0.2)
+            await servers["s5"].transfer("s2", 0.2)
+            await servers["s6"].transfer("s3", 0.2)
+
+        loop.run_until_complete(
+            gather(
+                loop,
+                [
+                    workload(clients["c1"], "x"),
+                    workload(clients["c2"], "y"),
+                    workload(clients["c3"], "z"),
+                    reassigner(),
+                ],
+            )
+        )
+        entries = []
+        for client in clients.values():
+            entries.extend(history_from_records(client.history))
+        assert check_atomic_history(entries) == []
+
+    def test_two_sequential_reads_are_monotonic(self):
+        """Definition 6 directly: a later read never returns an older value."""
+        loop, _, _, _, clients = build_storage_cluster(5, 1, clients=2)
+
+        async def go():
+            await clients["c1"].write("v1")
+            first = await clients["c2"].read()
+            await clients["c1"].write("v2")
+            second = await clients["c2"].read()
+            return first, second
+
+        first, second = loop.run_until_complete(go())
+        assert first == "v1"
+        assert second == "v2"
+
+
+class TestWeightAwareQuorums:
+    def test_client_learns_new_weights_and_restarts(self):
+        loop, _, config, servers, clients = build_storage_cluster(7, 2)
+
+        async def go():
+            await clients["c1"].write("seed")
+            await servers["s4"].transfer("s1", 0.2)
+            await servers["s5"].transfer("s2", 0.2)
+            await servers["s6"].transfer("s3", 0.2)
+            await clients["c1"].read()
+            return clients["c1"].observed_weights()
+
+        weights = loop.run_until_complete(go())
+        assert weights["s1"] == pytest.approx(1.2)
+        assert weights["s4"] == pytest.approx(0.8)
+        restarts = sum(record.restarts for record in clients["c1"].history)
+        assert restarts >= 1  # the post-transfer read had to refresh its view
+
+    def test_minority_quorum_suffices_after_reassignment(self):
+        """After the Fig. 1 transfers, {s1,s2,s3} alone can serve operations."""
+        loop, network, config, servers, clients = build_storage_cluster(7, 2)
+
+        async def reassign_and_isolate():
+            await servers["s4"].transfer("s1", 0.2)
+            await servers["s5"].transfer("s2", 0.2)
+            await servers["s6"].transfer("s3", 0.2)
+            # Let the change sets propagate everywhere before partitioning.
+            await loop.sleep(10.0)
+            # Make the client learn the new weights before the partition.
+            await clients["c1"].write("before-partition")
+            network.partition([["s1", "s2", "s3", "c1"], ["s4", "s5", "s6", "s7"]])
+            await clients["c1"].write("inside-minority")
+            return await clients["c1"].read()
+
+        assert loop.run_until_complete(reassign_and_isolate()) == "inside-minority"
+
+    def test_uniform_weights_require_majority(self):
+        """Without reassignment the same 3-of-7 partition blocks operations."""
+        from repro.errors import DeadlockError
+
+        loop, network, config, servers, clients = build_storage_cluster(7, 2)
+
+        async def go():
+            await clients["c1"].write("seed")
+            network.partition([["s1", "s2", "s3", "c1"], ["s4", "s5", "s6", "s7"]])
+            await clients["c1"].read()
+
+        with pytest.raises(DeadlockError):
+            loop.run_until_complete(go())
+
+    def test_gaining_server_refreshes_register_before_acking(self):
+        """Algorithm 4 lines 8-9: the beneficiary reads before storing the gain."""
+        loop, _, config, servers, clients = build_storage_cluster(5, 1)
+
+        async def go():
+            await clients["c1"].write("precious")
+            await servers["s2"].transfer("s1", 0.2)
+            return servers["s1"].stored.value
+
+        assert loop.run_until_complete(go()) == "precious"
+
+    def test_server_storage_read(self):
+        loop, _, config, servers, clients = build_storage_cluster(5, 1)
+
+        async def go():
+            await clients["c1"].write("shared")
+            return await servers["s3"].storage_read()
+
+        assert loop.run_until_complete(go()) == "shared"

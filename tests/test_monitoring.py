@@ -1,0 +1,207 @@
+"""Tests for monitoring, weight policies and the controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import ReassignmentServer
+from repro.core.spec import SystemConfig, check_rp_integrity
+from repro.errors import ConfigurationError
+from repro.monitoring import (
+    LatencyMonitor,
+    WeightController,
+    clip_to_rp_integrity,
+    install_probe_responder,
+    proportional_inverse_latency_weights,
+    wheat_style_weights,
+)
+from repro.net.latency import PerLinkLatency
+from repro.net.network import Network
+from repro.net.process import Process
+from repro.net.simloop import SimLoop
+from repro.quorum.availability import wmqs_is_available
+from repro.types import server_set
+
+from tests.conftest import make_net
+
+
+class TestLatencyMonitor:
+    def test_mean_and_ewma(self):
+        monitor = LatencyMonitor(["s1", "s2"], window=4)
+        for sample in (1.0, 2.0, 3.0):
+            monitor.record("s1", sample)
+        assert monitor.mean("s1") == pytest.approx(2.0)
+        assert monitor.ewma("s1") is not None
+        assert monitor.sample_count("s1") == 3
+        assert monitor.mean("s2") is None
+
+    def test_window_evicts_old_samples(self):
+        monitor = LatencyMonitor(["s1"], window=2)
+        for sample in (10.0, 1.0, 1.0):
+            monitor.record("s1", sample)
+        assert monitor.mean("s1") == pytest.approx(1.0)
+
+    def test_summary_uses_default_for_unsampled(self):
+        monitor = LatencyMonitor(["s1", "s2"])
+        monitor.record("s1", 2.0)
+        summary = monitor.summary(default=9.0)
+        assert summary["s2"] == 9.0
+
+    def test_negative_sample_rejected(self):
+        monitor = LatencyMonitor(["s1"])
+        with pytest.raises(ConfigurationError):
+            monitor.record("s1", -1.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LatencyMonitor(["s1"], window=0)
+        with pytest.raises(ConfigurationError):
+            LatencyMonitor(["s1"], ewma_alpha=0.0)
+
+    def test_active_probe_measures_round_trips(self):
+        table = {("probe", "s1"): 1.0, ("s1", "probe"): 1.0,
+                 ("probe", "s2"): 5.0, ("s2", "probe"): 5.0}
+        loop, net = make_net(PerLinkLatency(table, default=1.0))
+        prober = Process("probe", net)
+        for pid in ("s1", "s2"):
+            install_probe_responder(Process(pid, net))
+        monitor = LatencyMonitor(["s1", "s2"])
+
+        async def go():
+            return await monitor.probe(prober)
+
+        observed = loop.run_until_complete(go())
+        assert observed["s1"] == pytest.approx(2.0)
+        assert observed["s2"] == pytest.approx(10.0)
+
+    def test_probe_with_crashed_server_records_partial(self):
+        loop, net = make_net()
+        prober = Process("probe", net)
+        for pid in ("s1", "s2"):
+            install_probe_responder(Process(pid, net))
+        net.crash("s2")
+        monitor = LatencyMonitor(["s1", "s2"])
+
+        async def go():
+            return await monitor.probe(prober, timeout=50.0)
+
+        observed = loop.run_until_complete(go())
+        assert "s1" in observed and "s2" not in observed
+
+
+class TestPolicies:
+    def make_config(self):
+        return SystemConfig.uniform(5, f=1)
+
+    def test_proportional_weights_preserve_total_and_order(self):
+        config = self.make_config()
+        latencies = {"s1": 1.0, "s2": 1.0, "s3": 2.0, "s4": 4.0, "s5": 8.0}
+        targets = proportional_inverse_latency_weights(latencies, config)
+        assert sum(targets.values()) == pytest.approx(config.total_initial_weight)
+        assert targets["s1"] > targets["s3"] > targets["s5"]
+
+    def test_proportional_weights_respect_rp_floor(self):
+        config = self.make_config()
+        latencies = {"s1": 0.1, "s2": 0.1, "s3": 50.0, "s4": 50.0, "s5": 50.0}
+        targets = proportional_inverse_latency_weights(latencies, config)
+        assert check_rp_integrity(targets, config.total_initial_weight, config.f)
+
+    def test_wheat_weights_binary_structure(self):
+        config = self.make_config()
+        latencies = {"s1": 1.0, "s2": 2.0, "s3": 3.0, "s4": 4.0, "s5": 5.0}
+        targets = wheat_style_weights(latencies, config)
+        assert sum(targets.values()) == pytest.approx(config.total_initial_weight)
+        # n - 2f = 3 fast servers share the larger weight.
+        values = sorted(set(round(v, 6) for v in targets.values()))
+        assert len(values) == 2
+        assert wmqs_is_available(targets, config.f)
+
+    def test_clip_rejects_impossible_margin(self):
+        config = self.make_config()
+        with pytest.raises(ConfigurationError):
+            clip_to_rp_integrity(config.initial_weights, config, margin=10.0)
+
+    def test_policies_require_full_latency_map(self):
+        config = self.make_config()
+        with pytest.raises(ConfigurationError):
+            proportional_inverse_latency_weights({"s1": 1.0}, config)
+        with pytest.raises(ConfigurationError):
+            wheat_style_weights({"s1": 1.0}, config)
+
+
+class TestWeightController:
+    def build(self, n=5, f=1):
+        loop = SimLoop()
+        network = Network(loop)
+        config = SystemConfig.uniform(n, f=f)
+        servers = {pid: ReassignmentServer(pid, network, config) for pid in config.servers}
+        return loop, config, servers
+
+    def test_step_moves_weight_towards_targets(self):
+        loop, config, servers = self.build()
+        controller = WeightController(servers["s1"], tolerance=0.01)
+        controller.set_targets({"s1": 0.7, "s2": 1.3, "s3": 1.0, "s4": 1.0, "s5": 1.0})
+
+        async def go():
+            return await controller.step()
+
+        report = loop.run_until_complete(go())
+        assert report.attempted
+        assert report.outcome is not None and report.outcome.effective
+        assert servers["s1"].weight() == pytest.approx(0.7)
+
+    def test_controller_never_violates_rp_integrity(self):
+        loop, config, servers = self.build()
+        controller = WeightController(servers["s1"], tolerance=0.01)
+        # An infeasible target far below the RP bound: the controller must cap.
+        controller.set_targets({"s1": 0.1, "s2": 1.9, "s3": 1.0, "s4": 1.0, "s5": 1.0})
+
+        async def go():
+            for _ in range(5):
+                await controller.step()
+
+        loop.run_until_complete(go())
+        loop.run()
+        weights = servers["s1"].local_weights()
+        assert check_rp_integrity(weights, config.total_initial_weight, config.f)
+
+    def test_no_step_when_within_tolerance(self):
+        loop, config, servers = self.build()
+        controller = WeightController(servers["s2"], tolerance=0.5)
+        controller.set_targets({"s1": 1.2, "s2": 0.8, "s3": 1.0, "s4": 1.0, "s5": 1.0})
+
+        async def go():
+            return await controller.step()
+
+        report = loop.run_until_complete(go())
+        assert not report.attempted
+
+    def test_distance_metric_decreases(self):
+        loop, config, servers = self.build()
+        controllers = {pid: WeightController(servers[pid], tolerance=0.02) for pid in config.servers}
+        targets = {"s1": 0.75, "s2": 1.25, "s3": 1.1, "s4": 0.9, "s5": 1.0}
+        for controller in controllers.values():
+            controller.set_targets(targets)
+        before = controllers["s1"].distance_to_targets()
+
+        async def go():
+            for _ in range(3):
+                for controller in controllers.values():
+                    await controller.step()
+                await loop.sleep(5.0)
+
+        loop.run_until_complete(go())
+        loop.run()
+        after = controllers["s1"].distance_to_targets()
+        assert after < before
+
+    def test_targets_must_cover_server_set(self):
+        loop, config, servers = self.build()
+        controller = WeightController(servers["s1"])
+        with pytest.raises(ConfigurationError):
+            controller.set_targets({"s1": 1.0})
+
+    def test_invalid_tolerance_rejected(self):
+        loop, config, servers = self.build()
+        with pytest.raises(ConfigurationError):
+            WeightController(servers["s1"], tolerance=0.0)
