@@ -1,12 +1,9 @@
 """E6 — Case study (Section VII): dynamic-weighted storage vs. static baselines.
 
-A read/write workload runs against three deployments of the same 5-server
-cluster while the two initially-fast servers degrade by 8x halfway through:
-
-* static majority ABD (MQS),
-* static weighted ABD (weights fixed to the *initial* latencies, WHEAT-style),
-* the paper's dynamic-weighted storage, where a transfer moves the voting
-  power away from the degraded servers mid-run.
+Thin wrapper over the registered ``dynamic-storage-adaptation`` scenario
+(:mod:`repro.experiments.catalogue`): a read/write workload runs against
+three deployments of the same 5-server cluster while the two initially-fast
+servers degrade by 8x halfway through.
 
 Shape to reproduce: before the degradation the two weighted variants are
 comparable and beat MQS; after it, only the dynamic variant recovers, because
@@ -15,82 +12,15 @@ it is the only one that can re-point quorums without reconfiguration.
 
 from __future__ import annotations
 
-from repro.core.spec import SystemConfig
-from repro.net.latency import PerLinkLatency, SlowdownLatency
-from repro.sim.cluster import build_dynamic_cluster, build_static_cluster
-from repro.sim.metrics import summarize
-from repro.sim.workload import uniform_workload
-from repro.net.simloop import gather
+from repro.experiments import get_scenario
 
 from benchmarks.conftest import print_table
 
-SLOW_AT = 150.0
-RTT_ONE_WAY = {"s1": 1.0, "s2": 1.0, "s3": 4.0, "s4": 5.0, "s5": 30.0}
-INITIAL_WEIGHTS = {"s1": 1.6, "s2": 1.6, "s3": 0.7, "s4": 0.7, "s5": 0.4}
-
-
-def make_latency():
-    table = {}
-    for server, one_way in RTT_ONE_WAY.items():
-        for peer in ("c1", "c2", "s1", "s2", "s3", "s4", "s5"):
-            if peer != server:
-                table[(peer, server)] = one_way
-                table[(server, peer)] = one_way
-    base = PerLinkLatency(table, default=1.0, jitter=0.02, seed=11)
-    return SlowdownLatency(base, slow=["s1", "s2"], factor=8.0, start_at=SLOW_AT)
-
-
-def run_flavour(flavour):
-    config = SystemConfig(
-        servers=tuple(sorted(INITIAL_WEIGHTS, key=lambda s: int(s[1:]))),
-        f=1,
-        initial_weights=dict(INITIAL_WEIGHTS),
-    )
-    if flavour == "dynamic-weighted":
-        cluster = build_dynamic_cluster(config, latency=make_latency(), client_count=2)
-    else:
-        cluster = build_static_cluster(
-            config, latency=make_latency(), client_count=2,
-            weighted=(flavour == "static-weighted"),
-        )
-    loop = cluster.loop
-    before, after = [], []
-
-    async def client_loop(client):
-        for index in range(60):
-            bucket = before if loop.now < SLOW_AT else after
-            if index % 3 == 0:
-                await client.write(f"{client.pid}-{index}")
-            else:
-                await client.read()
-            bucket.append(client.history[-1].latency)
-            await loop.sleep(3.0)
-
-    async def reassigner():
-        if flavour != "dynamic-weighted":
-            return
-        await loop.sleep(SLOW_AT + 20.0)
-        # The degraded servers push their weight to the healthy ones (C1/C2).
-        await cluster.servers["s1"].transfer("s3", 0.8)
-        await cluster.servers["s2"].transfer("s4", 0.8)
-
-    tasks = [client_loop(client) for client in cluster.clients.values()]
-    tasks.append(reassigner())
-    loop.run_until_complete(gather(loop, tasks))
-    return {
-        "flavour": flavour,
-        "before": summarize(before).median,
-        "after": summarize(after).median,
-        "after_p95": summarize(after).p95,
-    }
-
 
 def run_comparison():
-    return [
-        run_flavour("static-majority"),
-        run_flavour("static-weighted"),
-        run_flavour("dynamic-weighted"),
-    ]
+    return get_scenario("dynamic-storage-adaptation").execute(
+        {"slow_at": 150.0, "slow_factor": 8.0, "operations": 60, "seed": 11}
+    )["rows"]
 
 
 def test_dynamic_storage_adapts(benchmark):

@@ -1,92 +1,26 @@
 """E7 — Epochless RPWR vs. the epoch-based protocol of related work [11].
 
-Drives the same stream of transfer requests through (a) the paper's
-restricted pairwise protocol and (b) the epoch-based baseline at several
-epoch lengths, and reports completion latency and total-weight preservation.
-Shapes to reproduce (Section VIII): the epochless protocol completes in a few
-message delays regardless of any epoch knob, while the epoch-based protocol's
-latency scales with the epoch length and it can leak weight when issuers
-crash mid-protocol.
+Thin wrapper over the registered ``epoch-vs-epochless`` scenario
+(:mod:`repro.experiments.catalogue`).  Shapes to reproduce (Section VIII):
+the epochless protocol completes in a few message delays regardless of any
+epoch knob, while the epoch-based protocol's latency scales with the epoch
+length and it can leak weight when issuers crash mid-protocol.
 """
 
 from __future__ import annotations
 
-from repro.core.protocol import ReassignmentServer
-from repro.core.spec import SystemConfig
-from repro.net.latency import ConstantLatency
-from repro.net.network import Network
-from repro.net.simloop import SimLoop, gather
-from repro.reassign.epoch_based import EpochBasedCoordinator, EpochBasedServer
+from repro.experiments import get_scenario
 
 from benchmarks.conftest import print_table
 
-N, F = 7, 2
-REQUESTS = [("s4", "s1", 0.1), ("s5", "s2", 0.1), ("s6", "s3", 0.1), ("s7", "s1", 0.1)]
+N = 7
 EPOCH_LENGTHS = [5.0, 20.0, 80.0]
 
 
-def run_epochless():
-    config = SystemConfig.uniform(N, f=F)
-    loop = SimLoop()
-    network = Network(loop, ConstantLatency(1.0))
-    servers = {pid: ReassignmentServer(pid, network, config) for pid in config.servers}
-
-    async def one(source, target, delta):
-        return await servers[source].transfer(target, delta)
-
-    outcomes = loop.run_until_complete(
-        gather(loop, [one(*request) for request in REQUESTS])
-    )
-    loop.run()
-    total = sum(servers["s1"].local_weights().values())
-    mean_latency = sum(o.latency for o in outcomes) / len(outcomes)
-    return {"protocol": "restricted pairwise (paper)", "epoch": "-",
-            "mean_latency": mean_latency, "total_weight": total, "leaked": 0.0}
-
-
-def run_epoch_based(epoch_length, crash_issuer=False):
-    config = SystemConfig.uniform(N, f=F)
-    loop = SimLoop()
-    network = Network(loop, ConstantLatency(1.0))
-    coordinator = EpochBasedCoordinator("coord", network, config, epoch_length)
-    servers = {pid: EpochBasedServer(pid, network, config, "coord") for pid in config.servers}
-
-    latencies = []
-
-    async def one(source, target, delta):
-        started = loop.now
-        await servers[source].transfer(target, delta)
-        latencies.append(loop.now - started)
-
-    async def scenario():
-        tasks = [loop.create_task(one(*request)) for request in REQUESTS]
-        if crash_issuer:
-            await loop.sleep(epoch_length * 0.5)
-            network.crash("s4")
-        for task in tasks:
-            if not crash_issuer:
-                await task
-
-    loop.run_until_complete(scenario())
-    loop.run(until=loop.now + 3 * epoch_length)
-    coordinator.stop()
-    loop.run(until=loop.now + epoch_length + 1)
-    label = f"{epoch_length:.0f}" + (" +crash" if crash_issuer else "")
-    return {
-        "protocol": "epoch-based [11]",
-        "epoch": label,
-        "mean_latency": sum(latencies) / len(latencies) if latencies else float("nan"),
-        "total_weight": coordinator.total_weight(),
-        "leaked": coordinator.leaked_weight,
-    }
-
-
 def run_comparison():
-    rows = [run_epochless()]
-    for epoch_length in EPOCH_LENGTHS:
-        rows.append(run_epoch_based(epoch_length))
-    rows.append(run_epoch_based(20.0, crash_issuer=True))
-    return rows
+    return get_scenario("epoch-vs-epochless").execute(
+        {"n": N, "f": 2, "epoch_lengths": EPOCH_LENGTHS, "crash_epoch_length": 20.0}
+    )["rows"]
 
 
 def test_epoch_vs_epochless(benchmark):

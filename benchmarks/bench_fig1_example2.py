@@ -1,73 +1,51 @@
 """E1 — Fig. 1 / Example 2: the restricted pairwise reassignment walkthrough.
 
-Regenerates the paper's only figure: n = 7, f = 2, uniform initial weights.
-Three transfers concentrate weight on {s1, s2, s3} until that minority forms
-a weighted quorum; the two "red box" transfers are rejected because they
-would push their sources to the RP-Integrity bound.
+Thin wrapper over the registered ``fig1-walkthrough`` scenario
+(:mod:`repro.experiments.catalogue`): executes it through the experiment
+subsystem and asserts the paper's shape — the accepted/rejected transfer
+split and the minority weighted quorum on {s1, s2, s3}.
 """
 
 from __future__ import annotations
 
-from repro.core.protocol import ReassignmentServer
-from repro.core.spec import SystemConfig, check_rp_integrity
-from repro.net.latency import ConstantLatency
-from repro.net.network import Network
-from repro.net.simloop import SimLoop
-from repro.quorum.weighted import WeightedMajorityQuorumSystem
+from repro.experiments import get_scenario
 
 from benchmarks.conftest import print_table
 
-ACCEPTED_TRANSFERS = [("s4", "s1", 0.2), ("s5", "s2", 0.2), ("s6", "s3", 0.2)]
-REJECTED_TRANSFERS = [("s6", "s2", 0.2), ("s7", "s3", 0.3)]
-
 
 def run_fig1_scenario():
-    config = SystemConfig.uniform(7, f=2)
-    loop = SimLoop()
-    network = Network(loop, ConstantLatency(1.0))
-    servers = {pid: ReassignmentServer(pid, network, config) for pid in config.servers}
-
-    async def scenario():
-        outcomes = []
-        for source, target, delta in ACCEPTED_TRANSFERS + REJECTED_TRANSFERS:
-            outcomes.append((source, target, delta, await servers[source].transfer(target, delta)))
-        return outcomes
-
-    outcomes = loop.run_until_complete(scenario())
-    loop.run()
-    weights = servers["s1"].local_weights()
-    return config, outcomes, weights, network.messages_sent
+    return get_scenario("fig1-walkthrough").execute()
 
 
 def test_fig1_example2(benchmark):
-    config, outcomes, weights, messages = benchmark.pedantic(
-        run_fig1_scenario, rounds=3, iterations=1
-    )
+    result = benchmark.pedantic(run_fig1_scenario, rounds=3, iterations=1)
 
     print_table(
         "E1 / Fig. 1: transfer outcomes (n=7, f=2, bound=0.70)",
         ["transfer", "delta", "outcome (paper)", "outcome (measured)"],
         [
             (
-                f"{source}->{target}",
-                delta,
-                "effective" if (source, target, delta) in ACCEPTED_TRANSFERS else "rejected",
-                "effective" if outcome.effective else "rejected",
+                f"{row['source']}->{row['target']}",
+                row["delta"],
+                "effective" if row["expected_effective"] else "rejected",
+                "effective" if row["effective"] else "rejected",
             )
-            for source, target, delta, outcome in outcomes
+            for row in result["transfers"]
         ],
     )
     print_table(
         "E1 / Fig. 1: weights at t1",
         ["server", "weight"],
-        [(server, f"{weight:.2f}") for server, weight in sorted(weights.items())],
+        [(server, f"{weight:.2f}") for server, weight in sorted(result["weights"].items())],
     )
 
     # Shape assertions: the paper's accepted/rejected split and the minority quorum.
-    assert [o.effective for *_r, o in outcomes] == [True, True, True, False, False]
-    quorum_system = WeightedMajorityQuorumSystem(weights)
-    assert quorum_system.is_quorum(["s1", "s2", "s3"])
-    assert quorum_system.smallest_quorum_size() == 3
-    assert check_rp_integrity(weights, config.total_initial_weight, config.f)
+    assert [row["effective"] for row in result["transfers"]] == [True, True, True, False, False]
+    assert all(
+        row["effective"] == row["expected_effective"] for row in result["transfers"]
+    )
+    assert result["minority_is_quorum"]
+    assert result["smallest_quorum_size"] == 3
+    assert result["rp_integrity"]
     print(f"\n{{s1,s2,s3}} forms a weighted quorum of cardinality 3 (< majority of 4); "
-          f"{messages} messages exchanged")
+          f"{result['messages']} messages exchanged")

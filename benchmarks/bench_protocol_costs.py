@@ -14,12 +14,10 @@ cluster sizes it measures, in the constant-latency model (delay = 1):
 
 from __future__ import annotations
 
-from repro.core.protocol import ReassignmentServer, read_changes
+from repro.core.protocol import read_changes
 from repro.core.spec import SystemConfig
-from repro.net.latency import ConstantLatency
-from repro.net.network import Network
 from repro.net.process import Process
-from repro.net.simloop import SimLoop
+from repro.sim.cluster import build_reassignment_fleet
 
 from benchmarks.conftest import print_table
 
@@ -30,10 +28,8 @@ def run_sweep():
     rows = []
     for n in SWEEP:
         f = (n - 1) // 3
-        config = SystemConfig.uniform(n, f=f)
-        loop = SimLoop()
-        network = Network(loop, ConstantLatency(1.0))
-        servers = {pid: ReassignmentServer(pid, network, config) for pid in config.servers}
+        fleet = build_reassignment_fleet(SystemConfig.uniform(n, f=f))
+        loop, network, config, servers = fleet.loop, fleet.network, fleet.config, fleet.servers
         client = Process("c1", network)
 
         async def one_transfer():

@@ -1,98 +1,22 @@
 """E8 — Section VIII: dynamic-weighted vs. reconfigurable storage availability.
 
-Both systems change quorum formation at run time; the paper's point is that
-their availability conditions differ.  We subject both to the same crash
-schedule: an operator action is in flight (a weight transfer in one system, a
-configuration change in the other) and then crashes hit.
-
-Shape to reproduce: the dynamic-weighted storage stays live whenever at most
-``f`` servers crash, independent of pending transfers; the reconfigurable
-storage blocks as soon as any *pending configuration* loses its majority,
-even though no more than ``f`` of the original servers crashed.
+Thin wrapper over the registered ``storage-vs-reconfig`` scenario
+(:mod:`repro.experiments.catalogue`).  Shape to reproduce: the
+dynamic-weighted storage stays live whenever at most ``f`` servers crash,
+independent of pending transfers; the reconfigurable storage blocks as soon
+as any *pending configuration* loses its majority, even though no more than
+``f`` of the original servers crashed.
 """
 
 from __future__ import annotations
 
-from repro.core.spec import SystemConfig
-from repro.core.storage import DynamicWeightedStorageClient, DynamicWeightedStorageServer
-from repro.errors import DeadlockError, SimTimeoutError
-from repro.net.latency import ConstantLatency
-from repro.net.network import Network
-from repro.net.simloop import SimLoop
-from repro.storage.reconfigurable import (
-    ReconfigurableStorageClient,
-    ReconfigurableStorageServer,
-)
-from repro.types import server_set  # noqa: F401  (used by schedule helpers)
+from repro.experiments import get_scenario
 
 from benchmarks.conftest import print_table
 
 
-def run_dynamic_weighted(crashes):
-    config = SystemConfig.uniform(5, f=2)
-    loop = SimLoop()
-    network = Network(loop, ConstantLatency(1.0))
-    servers = {pid: DynamicWeightedStorageServer(pid, network, config) for pid in config.servers}
-    client = DynamicWeightedStorageClient("c1", network, config)
-
-    async def scenario():
-        await client.write("seed")
-        await servers["s1"].transfer("s3", 0.2)  # an in-flight "operator action"
-        for pid in crashes:
-            network.crash(pid)
-        await client.write("after-crashes")
-        return await client.read()
-
-    try:
-        value = loop.run_until_complete(scenario(), max_time=10_000.0)
-        return value == "after-crashes"
-    except (DeadlockError, SimTimeoutError):
-        return False
-
-
-def run_reconfigurable(crashes):
-    loop = SimLoop()
-    network = Network(loop, ConstantLatency(1.0))
-    everyone = server_set(8)
-    initial = server_set(5)
-    for pid in everyone:
-        ReconfigurableStorageServer(pid, network, initial)
-    client = ReconfigurableStorageClient("c1", network, initial, everyone)
-
-    async def scenario():
-        await client.write("seed")
-        # The operator proposes replacing s3/s4/s5 with s6/s7 (a pending config).
-        await client.reconfigure(("s1", "s2", "s6", "s7"))
-        for pid in crashes:
-            network.crash(pid)
-        await client.write("after-crashes")
-        return await client.read()
-
-    try:
-        value = loop.run_until_complete(scenario(), max_time=10_000.0)
-        return value == "after-crashes"
-    except (DeadlockError, SimTimeoutError):
-        return False
-
-
-# Each schedule gives the crash set for both systems: the dynamic-weighted
-# store always faces f = 2 crashes among its (fixed) five servers; the
-# reconfigurable store faces the "same amount of bad luck" but hitting the
-# membership of its pending configuration.
-SCHEDULES = [
-    ("no crashes", (), ()),
-    ("f=2 crashes, none touching the pending change", ("s4", "s5"), ("s4", "s5")),
-    ("f=2 crashes hitting the newly added servers", ("s4", "s5"), ("s6", "s7")),
-]
-
-
 def run_comparison():
-    rows = []
-    for name, dynamic_crashes, reconfig_crashes in SCHEDULES:
-        dyn = run_dynamic_weighted(dynamic_crashes)
-        rec = run_reconfigurable(reconfig_crashes)
-        rows.append({"schedule": name, "dynamic": dyn, "reconfigurable": rec})
-    return rows
+    return get_scenario("storage-vs-reconfig").execute()["rows"]
 
 
 def test_storage_vs_reconfigurable(benchmark):

@@ -1,74 +1,20 @@
 """E5 — Motivation claim: WMQS beats MQS on heterogeneous wide-area latencies.
 
-For several WAN-like round-trip-time vectors, compares the expected quorum
-latency and the smallest quorum cardinality of the plain majority system
-against a weighted majority system whose weights follow inverse latency
-(Property-1-preserving).  The shape to reproduce: WMQS never loses, and wins
-whenever the latency distribution is skewed; with homogeneous latencies the
-two coincide.
+Thin wrapper over the registered ``wmqs-vs-mqs`` scenario
+(:mod:`repro.experiments.catalogue`).  The shape to reproduce: WMQS never
+loses, and wins whenever the latency distribution is skewed; with
+homogeneous latencies the two coincide.
 """
 
 from __future__ import annotations
 
-from repro.analysis import expected_quorum_latency, inverse_latency_weights
-from repro.quorum.availability import minimum_quorum_cardinality
-from repro.quorum.majority import MajorityQuorumSystem
-from repro.quorum.weighted import WeightedMajorityQuorumSystem
-from repro.types import server_set
+from repro.experiments import get_scenario
 
 from benchmarks.conftest import print_table
 
-SCENARIOS = {
-    "homogeneous LAN (5 sites)": {"s1": 1.0, "s2": 1.0, "s3": 1.0, "s4": 1.0, "s5": 1.0},
-    "EU client, 2 near / 3 far (5 sites)": {"s1": 10.0, "s2": 12.0, "s3": 45.0, "s4": 80.0, "s5": 95.0},
-    "WHEAT-like geo deployment (5 sites)": {"s1": 5.0, "s2": 8.0, "s3": 35.0, "s4": 70.0, "s5": 150.0},
-    "7 sites, one fast continent": {
-        "s1": 5.0, "s2": 6.0, "s3": 8.0, "s4": 60.0, "s5": 70.0, "s6": 90.0, "s7": 120.0,
-    },
-    "13 sites planet-scale": {
-        f"s{i}": latency
-        for i, latency in enumerate(
-            [5, 6, 8, 10, 12, 40, 55, 70, 80, 95, 110, 140, 180], start=1
-        )
-    },
-}
-
 
 def run_comparison():
-    rows = []
-    for name, rtt in SCENARIOS.items():
-        servers = tuple(sorted(rtt, key=lambda s: int(s[1:])))
-        n = len(servers)
-        f = (n - 1) // 3 if n > 5 else 1
-        mqs = MajorityQuorumSystem(servers)
-        # Raise the per-server floor until the assignment tolerates f failures
-        # (very skewed latency vectors need a higher floor to satisfy Property 1).
-        weights = None
-        for floor_fraction in (0.5, 0.6, 0.7, 0.8, 0.9):
-            try:
-                weights = inverse_latency_weights(
-                    rtt, total_weight=float(n), f=f, floor_fraction=floor_fraction
-                )
-                break
-            except Exception:
-                continue
-        assert weights is not None, f"no feasible weight assignment for {name}"
-        wmqs = WeightedMajorityQuorumSystem(weights)
-        mqs_latency = expected_quorum_latency(mqs, rtt)
-        wmqs_latency = expected_quorum_latency(wmqs, rtt)
-        rows.append(
-            {
-                "scenario": name,
-                "n": n,
-                "f": f,
-                "mqs_latency": mqs_latency,
-                "wmqs_latency": wmqs_latency,
-                "speedup": mqs_latency / wmqs_latency if wmqs_latency else 1.0,
-                "mqs_quorum": mqs.quorum_size(),
-                "wmqs_quorum": minimum_quorum_cardinality(weights),
-            }
-        )
-    return rows
+    return get_scenario("wmqs-vs-mqs").execute()["rows"]
 
 
 def test_wmqs_vs_mqs(benchmark):

@@ -1,0 +1,86 @@
+"""Declarative experiment subsystem: scenarios, sweeps, runners, results.
+
+* :mod:`repro.experiments.spec` — :class:`ScenarioSpec` and friends: a
+  declarative description of cluster, workload, latency, failures, transfers
+  and seed, plus the generic driver :func:`run_spec`.
+* :mod:`repro.experiments.registry` — the global scenario registry, the
+  :func:`scenario` decorator and :func:`register_spec`.
+* :mod:`repro.experiments.sweep` — parameter-grid expansion into
+  :class:`RunSpec` lists (seed lists are just another axis).
+* :mod:`repro.experiments.executor` — serial / multiprocessing execution;
+  results are identical for any worker count because every run is
+  deterministic in virtual time.
+* :mod:`repro.experiments.results` — JSON/CSV sinks and baseline comparison.
+* :mod:`repro.experiments.catalogue` — the built-in scenarios (the paper's
+  headline experiments plus declarative storage workloads).
+* :mod:`repro.experiments.cli` — the ``python -m repro`` entry point.
+"""
+
+from repro.experiments.executor import RunResult, execute_many, execute_run
+from repro.experiments.registry import (
+    FunctionScenario,
+    Scenario,
+    SpecScenario,
+    all_scenarios,
+    get_scenario,
+    register,
+    register_spec,
+    scenario,
+    scenario_names,
+    unregister,
+)
+from repro.experiments.results import (
+    compare_payloads,
+    dumps_json,
+    load_payload,
+    to_payload,
+    write_csv,
+    write_json,
+)
+from repro.experiments.spec import (
+    ClusterSpec,
+    FailureSpec,
+    LatencySpec,
+    ScenarioSpec,
+    TransferEvent,
+    WorkloadSpec,
+    flatten_spec,
+    run_spec,
+)
+from repro.experiments.sweep import RunSpec, expand_grid
+
+__all__ = [
+    # spec
+    "ScenarioSpec",
+    "ClusterSpec",
+    "WorkloadSpec",
+    "LatencySpec",
+    "FailureSpec",
+    "TransferEvent",
+    "run_spec",
+    "flatten_spec",
+    # registry
+    "Scenario",
+    "FunctionScenario",
+    "SpecScenario",
+    "scenario",
+    "register",
+    "register_spec",
+    "unregister",
+    "get_scenario",
+    "scenario_names",
+    "all_scenarios",
+    # sweep + executor
+    "RunSpec",
+    "expand_grid",
+    "RunResult",
+    "execute_run",
+    "execute_many",
+    # results
+    "to_payload",
+    "dumps_json",
+    "write_json",
+    "write_csv",
+    "load_payload",
+    "compare_payloads",
+]

@@ -1,0 +1,216 @@
+"""The ``python -m repro`` command line interface.
+
+Subcommands:
+
+* ``list``     — show the registered scenarios (name, tags, parameters).
+* ``run``      — execute one scenario, optionally overriding parameters.
+* ``sweep``    — expand a parameter grid and execute it, serially or across
+  worker processes; results are identical either way.
+* ``compare``  — diff a result JSON against a baseline JSON.
+
+Parameter values (``-p key=value`` and grid axis values) are parsed with
+``ast.literal_eval`` and fall back to plain strings, so ``-p seed=3``,
+``-p workload.read_ratio=0.9`` and ``-p cluster.flavour=static-majority``
+all do what they look like.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.experiments.executor import RunResult, execute_many
+from repro.experiments.registry import all_scenarios, get_scenario
+from repro.experiments.results import (
+    compare_payloads,
+    dumps_json,
+    load_payload,
+    to_payload,
+    write_csv,
+    write_json,
+)
+from repro.experiments.sweep import RunSpec, expand_grid
+
+__all__ = ["main"]
+
+
+def _parse_value(text: str) -> Any:
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def _parse_params(pairs: Sequence[str]) -> Dict[str, Any]:
+    params: Dict[str, Any] = {}
+    for pair in pairs:
+        key, separator, value = pair.partition("=")
+        if not separator or not key:
+            raise ReproError(f"expected key=value, got {pair!r}")
+        params[key] = _parse_value(value)
+    return params
+
+
+def _parse_grid(axes: Sequence[str]) -> Dict[str, List[Any]]:
+    grid: Dict[str, List[Any]] = {}
+    for axis in axes:
+        key, separator, values = axis.partition("=")
+        if not separator or not key:
+            raise ReproError(f"expected axis=v1,v2,..., got {axis!r}")
+        grid[key] = [_parse_value(value) for value in values.split(",") if value != ""]
+    return grid
+
+
+def _print_table(header: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
+    cells = [tuple(str(cell) for cell in row) for row in rows]
+    names = tuple(str(cell) for cell in header)
+    widths = [
+        max(len(names[i]), *(len(row[i]) for row in cells)) if cells else len(names[i])
+        for i in range(len(names))
+    ]
+    print("  ".join(name.ljust(widths[i]) for i, name in enumerate(names)))
+    print("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    for row in cells:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+
+
+def _emit(results: List[RunResult], args: argparse.Namespace) -> None:
+    if getattr(args, "json", None):
+        write_json(results, args.json)
+    if getattr(args, "csv", None):
+        write_csv(results, args.csv)
+    if not getattr(args, "quiet", False):
+        print(dumps_json(results))
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    entries = all_scenarios()
+    if args.tag:
+        entries = [entry for entry in entries if args.tag in entry.tags]
+    if args.as_json:
+        payload = [
+            {
+                "name": entry.name,
+                "description": entry.description,
+                "tags": list(entry.tags),
+                "kind": entry.kind,
+                "parameters": {key: repr(value) for key, value in sorted(entry.defaults.items())},
+            }
+            for entry in entries
+        ]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    _print_table(
+        ["scenario", "kind", "tags", "description"],
+        [
+            (entry.name, entry.kind, ",".join(entry.tags), entry.description)
+            for entry in entries
+        ],
+    )
+    print(f"\n{len(entries)} scenario(s); `run <name>` executes one, "
+          "`sweep <name> -g axis=v1,v2` sweeps a grid")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    params = _parse_params(args.param)
+    get_scenario(args.scenario)  # fail fast with the list of known names
+    run = RunSpec(scenario=args.scenario, params=tuple(sorted(params.items())))
+    results = execute_many([run], workers=1)
+    _emit(results, args)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    grid = _parse_grid(args.grid)
+    if args.seeds:
+        grid["seed"] = [_parse_value(value) for value in args.seeds.split(",") if value != ""]
+    base = _parse_params(args.param)
+    get_scenario(args.scenario)
+    runs = expand_grid(args.scenario, grid=grid, base=base)
+    results = execute_many(runs, workers=args.workers)
+    _emit(results, args)
+    if getattr(args, "quiet", False):
+        print(f"{len(results)} run(s) completed")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    diffs = compare_payloads(
+        load_payload(args.current),
+        load_payload(args.baseline),
+        rel_tol=args.rel_tol,
+    )
+    if not diffs:
+        print(f"results match: {args.current} == {args.baseline} "
+              f"(rel_tol={args.rel_tol})")
+        return 0
+    for diff in diffs:
+        if diff["kind"] == "field":
+            print(f"{diff['run_id']}: {diff['field']}: "
+                  f"current={diff['current']!r} baseline={diff['baseline']!r}")
+        else:
+            print(f"{diff['run_id']}: {diff['kind']}")
+    print(f"{len(diffs)} difference(s) found")
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run the repro experiment catalogue: registered scenarios, "
+        "parameter sweeps, and baseline comparisons.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list registered scenarios")
+    p_list.add_argument("--tag", help="only scenarios carrying this tag")
+    p_list.add_argument("--json", dest="as_json", action="store_true",
+                        help="emit the catalogue as JSON")
+    p_list.set_defaults(fn=_cmd_list)
+
+    p_run = sub.add_parser("run", help="execute one scenario")
+    p_run.add_argument("scenario", help="registered scenario name")
+    p_run.add_argument("-p", "--param", action="append", default=[],
+                       metavar="KEY=VALUE", help="override a scenario parameter")
+    p_run.add_argument("--json", metavar="PATH", help="write results to a JSON file")
+    p_run.add_argument("--csv", metavar="PATH", help="write results to a CSV file")
+    p_run.add_argument("--quiet", action="store_true", help="suppress stdout JSON")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="expand and execute a parameter grid")
+    p_sweep.add_argument("scenario", help="registered scenario name")
+    p_sweep.add_argument("-g", "--grid", action="append", default=[],
+                         metavar="AXIS=V1,V2,...", help="add a sweep axis")
+    p_sweep.add_argument("--seeds", metavar="S1,S2,...",
+                         help="shorthand for a seed axis (-g seed=S1,S2,...)")
+    p_sweep.add_argument("-p", "--param", action="append", default=[],
+                         metavar="KEY=VALUE", help="fix a parameter across the sweep")
+    p_sweep.add_argument("--workers", type=int, default=1,
+                         help="worker processes (results are identical for any count)")
+    p_sweep.add_argument("--json", metavar="PATH", help="write results to a JSON file")
+    p_sweep.add_argument("--csv", metavar="PATH", help="write results to a CSV file")
+    p_sweep.add_argument("--quiet", action="store_true", help="suppress stdout JSON")
+    p_sweep.set_defaults(fn=_cmd_sweep)
+
+    p_compare = sub.add_parser("compare", help="diff a result JSON against a baseline")
+    p_compare.add_argument("current", help="result JSON produced by run/sweep --json")
+    p_compare.add_argument("baseline", help="baseline JSON to compare against")
+    p_compare.add_argument("--rel-tol", type=float, default=1e-9,
+                           help="relative tolerance for numeric fields")
+    p_compare.set_defaults(fn=_cmd_compare)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except (ReproError, OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2

@@ -1,0 +1,189 @@
+"""The global scenario registry.
+
+Two kinds of entries live here:
+
+* :class:`SpecScenario` — a declarative :class:`~repro.experiments.spec.
+  ScenarioSpec` executed by the generic driver; its sweepable parameters are
+  the dotted paths of the spec tree (``cluster.n``, ``workload.read_ratio``,
+  ``seed`` ...).
+* :class:`FunctionScenario` — a plain function registered with the
+  :func:`scenario` decorator; its sweepable parameters are the function's
+  keyword arguments (every parameter must carry a default, so a scenario is
+  always runnable with no arguments).
+
+Every scenario executes to a JSON-serialisable dict, which is what the
+executor, the result sinks and the CLI all operate on.  The built-in
+catalogue (:mod:`repro.experiments.catalogue`) is imported lazily on first
+lookup so that importing :mod:`repro` stays cheap and cycle-free.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.experiments.spec import ScenarioSpec, flatten_spec, run_spec
+
+__all__ = [
+    "Scenario",
+    "FunctionScenario",
+    "SpecScenario",
+    "scenario",
+    "register",
+    "register_spec",
+    "unregister",
+    "get_scenario",
+    "scenario_names",
+    "all_scenarios",
+]
+
+_REGISTRY: Dict[str, "Scenario"] = {}
+_builtin_loaded = False
+
+
+def _ensure_builtin() -> None:
+    """Import the built-in catalogue exactly once (idempotent)."""
+    global _builtin_loaded
+    if not _builtin_loaded:
+        _builtin_loaded = True
+        import repro.experiments.catalogue  # noqa: F401  (registers on import)
+
+
+class Scenario:
+    """A named, parameterised experiment that executes to a result dict."""
+
+    kind = "abstract"
+
+    def __init__(
+        self,
+        name: str,
+        description: str,
+        tags: Tuple[str, ...],
+        defaults: Mapping[str, Any],
+    ) -> None:
+        if not name:
+            raise ConfigurationError("scenario name must not be empty")
+        self.name = name
+        self.description = description
+        self.tags = tuple(tags)
+        self.defaults = dict(defaults)
+
+    def execute(self, params: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class FunctionScenario(Scenario):
+    """A scenario backed by a plain function with fully-defaulted kwargs."""
+
+    kind = "function"
+
+    def __init__(
+        self,
+        fn: Callable[..., Mapping[str, Any]],
+        name: str,
+        description: str = "",
+        tags: Tuple[str, ...] = (),
+    ) -> None:
+        defaults: Dict[str, Any] = {}
+        for parameter in inspect.signature(fn).parameters.values():
+            if parameter.default is inspect.Parameter.empty:
+                raise ConfigurationError(
+                    f"scenario {name!r}: parameter {parameter.name!r} needs a "
+                    "default value (scenarios must be runnable with no arguments)"
+                )
+            defaults[parameter.name] = parameter.default
+        if not description and fn.__doc__:
+            description = fn.__doc__.strip().splitlines()[0]
+        super().__init__(name, description, tags, defaults)
+        self._fn = fn
+
+    def execute(self, params: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
+        merged = dict(self.defaults)
+        unknown = set(params or {}) - set(self.defaults)
+        if unknown:
+            raise ConfigurationError(
+                f"scenario {self.name!r} has no parameters {sorted(unknown)}; "
+                f"available: {sorted(self.defaults)}"
+            )
+        merged.update(params or {})
+        return dict(self._fn(**merged))
+
+
+class SpecScenario(Scenario):
+    """A scenario backed by a declarative :class:`ScenarioSpec`."""
+
+    kind = "spec"
+
+    def __init__(self, spec: ScenarioSpec, tags: Tuple[str, ...] = ()) -> None:
+        super().__init__(spec.name, spec.description, tags, flatten_spec(spec))
+        self.spec = spec
+
+    def execute(self, params: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
+        return run_spec(self.spec.with_overrides(params))
+
+
+def register(entry: Scenario, replace: bool = False) -> Scenario:
+    """Add a scenario to the global registry."""
+    if not replace and entry.name in _REGISTRY:
+        raise ConfigurationError(f"scenario {entry.name!r} is already registered")
+    _REGISTRY[entry.name] = entry
+    return entry
+
+
+def register_spec(
+    spec: ScenarioSpec, tags: Tuple[str, ...] = (), replace: bool = False
+) -> SpecScenario:
+    """Register a declarative spec under its own name."""
+    entry = SpecScenario(spec, tags=tags)
+    register(entry, replace=replace)
+    return entry
+
+
+def unregister(name: str) -> None:
+    """Remove a scenario (used by tests; unknown names are ignored)."""
+    _REGISTRY.pop(name, None)
+
+
+def scenario(
+    name: str,
+    description: str = "",
+    tags: Tuple[str, ...] = (),
+    replace: bool = False,
+) -> Callable[[Callable[..., Mapping[str, Any]]], Callable[..., Mapping[str, Any]]]:
+    """Decorator: register ``fn`` as a :class:`FunctionScenario`.
+
+    The decorated function is returned unchanged, so it stays directly
+    callable (the ported benchmarks call the functions as plain code).
+    """
+
+    def wrap(fn: Callable[..., Mapping[str, Any]]) -> Callable[..., Mapping[str, Any]]:
+        register(FunctionScenario(fn, name, description, tags), replace=replace)
+        return fn
+
+    return wrap
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look a scenario up by name, loading the built-in catalogue on demand."""
+    _ensure_builtin()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; registered scenarios: "
+            f"{', '.join(scenario_names()) or '(none)'}"
+        ) from None
+
+
+def scenario_names() -> List[str]:
+    _ensure_builtin()
+    return sorted(_REGISTRY)
+
+
+def all_scenarios() -> List[Scenario]:
+    _ensure_builtin()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]

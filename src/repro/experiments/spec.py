@@ -1,0 +1,343 @@
+"""Declarative scenario specifications and the generic workload driver.
+
+A :class:`ScenarioSpec` describes one simulated experiment without running
+it: the cluster flavour and size, the latency model, the workload mix, the
+failure schedule, scheduled weight transfers (the protocol knob the paper is
+about) and the seed.  Every field lives in a small frozen dataclass, so a
+spec is hashable, picklable, and can be *swept*: :meth:`ScenarioSpec.
+with_overrides` rebuilds the tree with dotted-path parameter overrides
+(``{"cluster.n": 9, "workload.read_ratio": 0.9, "seed": 3}``), which is the
+substrate the sweep engine and the CLI build on.
+
+:func:`run_spec` is the generic driver: build the cluster, generate the
+workload, arm failures and transfers, run, and return a plain
+JSON-serialisable result dict.  Scenarios that do not fit the
+cluster-plus-workload mold (analytic comparisons, protocol walkthroughs)
+register plain functions instead — see :mod:`repro.experiments.registry`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.spec import SystemConfig
+from repro.errors import ConfigurationError
+from repro.net.latency import (
+    ConstantLatency,
+    LatencyModel,
+    LogNormalLatency,
+    SlowdownLatency,
+    UniformLatency,
+)
+from repro.sim.cluster import Cluster, build_dynamic_cluster, build_static_cluster
+from repro.sim.failures import FailureSchedule
+from repro.sim.metrics import LatencySummary
+from repro.sim.runner import run_workload
+from repro.sim.workload import Workload, uniform_workload
+from repro.types import ProcessId, VirtualTime, server_set
+
+__all__ = [
+    "LatencySpec",
+    "ClusterSpec",
+    "WorkloadSpec",
+    "FailureSpec",
+    "TransferEvent",
+    "ScenarioSpec",
+    "run_spec",
+    "flatten_spec",
+]
+
+CLUSTER_FLAVOURS = ("dynamic-weighted", "static-majority", "static-weighted")
+
+
+@dataclass(frozen=True)
+class LatencySpec:
+    """Which :class:`~repro.net.latency.LatencyModel` to build, and how.
+
+    ``kind`` selects the model (``constant`` / ``uniform`` / ``lognormal``);
+    the remaining fields parameterise it.  A non-empty ``slow`` tuple wraps
+    the model in :class:`~repro.net.latency.SlowdownLatency`, degrading the
+    listed processes by ``slow_factor`` from ``slow_start`` on.
+    """
+
+    kind: str = "constant"
+    value: VirtualTime = 1.0
+    low: VirtualTime = 0.5
+    high: VirtualTime = 1.5
+    median: VirtualTime = 1.0
+    sigma: float = 0.3
+    slow: Tuple[ProcessId, ...] = ()
+    slow_factor: float = 8.0
+    slow_start: VirtualTime = 0.0
+    slow_end: Optional[VirtualTime] = None
+
+    def build(self, seed: int = 0) -> LatencyModel:
+        if self.kind == "constant":
+            model: LatencyModel = ConstantLatency(self.value)
+        elif self.kind == "uniform":
+            model = UniformLatency(self.low, self.high, seed=seed)
+        elif self.kind == "lognormal":
+            model = LogNormalLatency(self.median, self.sigma, seed=seed)
+        else:
+            raise ConfigurationError(
+                f"unknown latency kind {self.kind!r}; "
+                "expected constant, uniform or lognormal"
+            )
+        if self.slow:
+            model = SlowdownLatency(
+                model,
+                slow=tuple(self.slow),
+                factor=self.slow_factor,
+                start_at=self.slow_start,
+                end_at=self.slow_end,
+            )
+        return model
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Cluster flavour, size, fault threshold and initial weights."""
+
+    flavour: str = "dynamic-weighted"
+    n: int = 5
+    f: Optional[int] = None
+    client_count: int = 2
+    initial_weights: Tuple[Tuple[ProcessId, float], ...] = ()
+
+    def system_config(self) -> SystemConfig:
+        if self.flavour not in CLUSTER_FLAVOURS:
+            raise ConfigurationError(
+                f"unknown cluster flavour {self.flavour!r}; "
+                f"expected one of {CLUSTER_FLAVOURS}"
+            )
+        if not self.initial_weights:
+            return SystemConfig.uniform(self.n, f=self.f)
+        weights = {pid: weight for pid, weight in self.initial_weights}
+        if len(weights) != self.n:
+            raise ConfigurationError(
+                f"cluster.n={self.n} does not match the {len(weights)} explicit "
+                "initial_weights; override both together"
+            )
+        if self.f is None:
+            raise ConfigurationError("explicit initial_weights require an explicit f")
+        return SystemConfig(
+            servers=server_set(len(weights)),
+            f=self.f,
+            initial_weights=weights,
+        )
+
+    def build(self, config: SystemConfig, latency: LatencyModel) -> Cluster:
+        if self.flavour == "dynamic-weighted":
+            return build_dynamic_cluster(
+                config, latency=latency, client_count=self.client_count
+            )
+        return build_static_cluster(
+            config,
+            latency=latency,
+            client_count=self.client_count,
+            weighted=(self.flavour == "static-weighted"),
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of the seeded uniform read/write workload."""
+
+    operations_per_client: int = 10
+    read_ratio: float = 0.5
+    mean_think_time: VirtualTime = 1.0
+
+    def build(self, clients: Tuple[ProcessId, ...], seed: int) -> Workload:
+        return uniform_workload(
+            clients,
+            operations_per_client=self.operations_per_client,
+            read_ratio=self.read_ratio,
+            mean_think_time=self.mean_think_time,
+            seed=seed,
+        )
+
+
+@dataclass(frozen=True)
+class FailureSpec:
+    """Crash-stop events as ``(process, virtual_time)`` pairs."""
+
+    crashes: Tuple[Tuple[ProcessId, VirtualTime], ...] = ()
+
+    def build(self) -> Optional[FailureSchedule]:
+        if not self.crashes:
+            return None
+        schedule = FailureSchedule()
+        for process, at in self.crashes:
+            schedule.crash(process, at)
+        return schedule
+
+
+@dataclass(frozen=True)
+class TransferEvent:
+    """A scheduled weight transfer: at ``at``, ``source`` sends ``delta`` to ``target``."""
+
+    at: VirtualTime
+    source: ProcessId
+    target: ProcessId
+    delta: float
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A fully declarative experiment description."""
+
+    name: str
+    description: str = ""
+    cluster: ClusterSpec = ClusterSpec()
+    workload: WorkloadSpec = WorkloadSpec()
+    latency: LatencySpec = LatencySpec()
+    failures: FailureSpec = FailureSpec()
+    transfers: Tuple[TransferEvent, ...] = ()
+    seed: int = 0
+    max_time: Optional[VirtualTime] = None
+
+    def with_overrides(self, params: Optional[Mapping[str, Any]] = None) -> "ScenarioSpec":
+        """Rebuild the spec with dotted-path overrides applied.
+
+        ``{"cluster.n": 9, "seed": 3}`` replaces nested fields; unknown paths
+        raise :class:`~repro.errors.ConfigurationError`.  Overrides are
+        applied in sorted key order, so the result is deterministic.
+        """
+        spec = self
+        for key in sorted(params or {}):
+            spec = _replace_path(spec, key, key.split("."), (params or {})[key])
+        return spec
+
+
+_SWEEPABLE_CHILDREN = ("cluster", "workload", "latency", "failures")
+
+
+def _replace_path(obj: Any, full_key: str, parts: List[str], value: Any) -> Any:
+    if not dataclasses.is_dataclass(obj):
+        raise ConfigurationError(f"parameter path {full_key!r} descends into a non-spec value")
+    field_names = {field.name for field in dataclasses.fields(obj)}
+    head = parts[0]
+    if head not in field_names:
+        raise ConfigurationError(
+            f"unknown parameter {full_key!r}: {type(obj).__name__} has no field {head!r} "
+            f"(fields: {', '.join(sorted(field_names))})"
+        )
+    if len(parts) == 1:
+        if isinstance(value, list):  # CLI/JSON hand tuples in as lists
+            value = tuple(tuple(item) if isinstance(item, list) else item for item in value)
+        return dataclasses.replace(obj, **{head: value})
+    child = _replace_path(getattr(obj, head), full_key, parts[1:], value)
+    return dataclasses.replace(obj, **{head: child})
+
+
+def flatten_spec(spec: ScenarioSpec) -> Dict[str, Any]:
+    """The sweepable parameters of a spec as a flat dotted-path dict."""
+    flat: Dict[str, Any] = {}
+    for field in dataclasses.fields(spec):
+        if field.name in ("name", "description"):
+            continue
+        value = getattr(spec, field.name)
+        if field.name in _SWEEPABLE_CHILDREN:
+            for child_field in dataclasses.fields(value):
+                flat[f"{field.name}.{child_field.name}"] = getattr(value, child_field.name)
+        else:
+            flat[field.name] = value
+    return flat
+
+
+def _summary_dict(summary: Optional[LatencySummary]) -> Optional[Dict[str, float]]:
+    if summary is None:
+        return None
+    return {
+        "count": summary.count,
+        "mean": summary.mean,
+        "median": summary.median,
+        "p95": summary.p95,
+        "p99": summary.p99,
+        "max": summary.maximum,
+    }
+
+
+def _coerce_transfers(transfers: Tuple[Any, ...]) -> Tuple[TransferEvent, ...]:
+    # Overrides arriving from the CLI/JSON are plain sequences, not events.
+    coerced = []
+    for entry in transfers:
+        if isinstance(entry, TransferEvent):
+            coerced.append(entry)
+        else:
+            try:
+                coerced.append(TransferEvent(*entry))
+            except TypeError as error:
+                raise ConfigurationError(
+                    f"invalid transfer {entry!r}: expected "
+                    "(at, source, target, delta)"
+                ) from error
+    return tuple(coerced)
+
+
+def run_spec(spec: ScenarioSpec) -> Dict[str, Any]:
+    """Execute a declarative scenario and return a JSON-serialisable result."""
+    transfers = _coerce_transfers(spec.transfers)
+    if transfers and spec.cluster.flavour != "dynamic-weighted":
+        raise ConfigurationError(
+            "scheduled transfers require the dynamic-weighted flavour, "
+            f"got {spec.cluster.flavour!r}"
+        )
+    config = spec.cluster.system_config()
+    cluster = spec.cluster.build(config, spec.latency.build(seed=spec.seed))
+    workload = spec.workload.build(tuple(cluster.clients), seed=spec.seed)
+
+    transfer_outcomes: List[Dict[str, Any]] = []
+
+    async def fire(event: TransferEvent) -> None:
+        if event.at > 0:
+            await cluster.loop.sleep(event.at)
+        outcome = await cluster.servers[event.source].transfer(event.target, event.delta)
+        transfer_outcomes.append(
+            {
+                "at": event.at,
+                "source": event.source,
+                "target": event.target,
+                "delta": event.delta,
+                "effective": outcome.effective,
+                "latency": outcome.latency,
+            }
+        )
+
+    for event in transfers:
+        cluster.loop.create_task(fire(event), name=f"transfer@{event.at}")
+
+    report = run_workload(
+        cluster,
+        workload,
+        failures=spec.failures.build(),
+        max_time=spec.max_time,
+    )
+    cluster.loop.run()  # let trailing transfers / broadcast echoes settle
+
+    result: Dict[str, Any] = {
+        "scenario": spec.name,
+        "flavour": report.flavour,
+        "seed": spec.seed,
+        "duration": report.duration,
+        "operations": report.operations,
+        "restarts": report.restarts,
+        "messages": report.messages_sent,
+        "read_latency": _summary_dict(report.read_latency),
+        "write_latency": _summary_dict(report.write_latency),
+        "transfers": transfer_outcomes,
+    }
+    if spec.cluster.flavour == "dynamic-weighted":
+        surviving = [
+            pid for pid in config.servers if not cluster.network.is_crashed(pid)
+        ]
+        if surviving:
+            result["weights"] = {
+                pid: weight
+                for pid, weight in sorted(
+                    cluster.servers[surviving[0]].local_weights().items()
+                )
+            }
+    return result

@@ -1,0 +1,75 @@
+"""Parameter sweeps: expand grids into concrete, picklable run specs.
+
+A sweep is a cartesian product over named axes.  Axis names are scenario
+parameters — keyword arguments for function scenarios, dotted spec paths
+(``cluster.n``, ``seed``) for declarative ones.  Seed lists are just another
+axis (``{"seed": [0, 1, 2]}``), which is how the paper-style "m runs per
+configuration" replication is expressed.
+
+Expansion is fully deterministic: axes are ordered by name, values keep
+their given order, and every produced :class:`RunSpec` carries its
+parameters as a sorted tuple of pairs — hashable, picklable, and stable
+across processes, which the parallel executor and the JSON sinks rely on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RunSpec", "expand_grid"]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One concrete run: a scenario name plus exact parameter values."""
+
+    scenario: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def params_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    @property
+    def run_id(self) -> str:
+        """A stable human-readable identifier, unique within a sweep."""
+        if not self.params:
+            return self.scenario
+        inner = ",".join(f"{key}={value}" for key, value in self.params)
+        return f"{self.scenario}[{inner}]"
+
+
+def expand_grid(
+    scenario: str,
+    grid: Optional[Mapping[str, Sequence[Any]]] = None,
+    base: Optional[Mapping[str, Any]] = None,
+) -> List[RunSpec]:
+    """Expand ``grid`` axes (plus fixed ``base`` params) into runs.
+
+    ``grid`` maps axis names to value lists; ``base`` holds parameters fixed
+    across the whole sweep (a grid axis with the same name wins).  With no
+    grid at all the result is the single run described by ``base``.
+    """
+    fixed = dict(base or {})
+    axes: List[Tuple[str, List[Any]]] = []
+    for name in sorted(grid or {}):
+        values = (grid or {})[name]
+        if isinstance(values, (str, bytes)) or not isinstance(values, Sequence):
+            raise ConfigurationError(
+                f"sweep axis {name!r} must be a list/tuple of values, got {values!r}"
+            )
+        if not values:
+            raise ConfigurationError(f"sweep axis {name!r} has no values")
+        axes.append((name, list(values)))
+        fixed.pop(name, None)
+
+    runs: List[RunSpec] = []
+    for combo in itertools.product(*(values for _, values in axes)):
+        params = dict(fixed)
+        params.update({name: value for (name, _), value in zip(axes, combo)})
+        runs.append(RunSpec(scenario=scenario, params=tuple(sorted(params.items()))))
+    return runs

@@ -9,7 +9,13 @@
   :class:`~repro.sim.runner.RunReport`.
 """
 
-from repro.sim.cluster import Cluster, build_dynamic_cluster, build_static_cluster
+from repro.sim.cluster import (
+    Cluster,
+    ReassignmentFleet,
+    build_dynamic_cluster,
+    build_reassignment_fleet,
+    build_static_cluster,
+)
 from repro.sim.workload import Operation, Workload, uniform_workload
 from repro.sim.failures import FailureSchedule, CrashEvent
 from repro.sim.metrics import LatencySummary, summarize
@@ -17,7 +23,9 @@ from repro.sim.runner import RunReport, run_workload
 
 __all__ = [
     "Cluster",
+    "ReassignmentFleet",
     "build_dynamic_cluster",
+    "build_reassignment_fleet",
     "build_static_cluster",
     "Operation",
     "Workload",

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
+from repro.core.protocol import ReassignmentServer
 from repro.core.spec import SystemConfig
 from repro.core.storage import DynamicWeightedStorageClient, DynamicWeightedStorageServer
 from repro.errors import ConfigurationError
@@ -29,7 +30,13 @@ from repro.quorum.weighted import WeightedMajorityQuorumSystem
 from repro.storage.abd import StaticQuorumStorageClient, StaticQuorumStorageServer
 from repro.types import ProcessId, client_name
 
-__all__ = ["Cluster", "build_dynamic_cluster", "build_static_cluster"]
+__all__ = [
+    "Cluster",
+    "ReassignmentFleet",
+    "build_dynamic_cluster",
+    "build_static_cluster",
+    "build_reassignment_fleet",
+]
 
 StorageClient = Union[DynamicWeightedStorageClient, StaticQuorumStorageClient]
 StorageServer = Union[DynamicWeightedStorageServer, StaticQuorumStorageServer]
@@ -54,6 +61,35 @@ class Cluster:
 
     def any_client(self) -> StorageClient:
         return next(iter(self.clients.values()))
+
+
+@dataclass
+class ReassignmentFleet:
+    """A loop/network/servers bundle for pure weight-reassignment experiments.
+
+    This is the setup every protocol-level benchmark needs (no storage, no
+    clients): a deterministic loop, a network, and one
+    :class:`~repro.core.protocol.ReassignmentServer` per configured server.
+    """
+
+    loop: SimLoop
+    network: Network
+    config: SystemConfig
+    servers: Dict[ProcessId, "ReassignmentServer"]
+
+    def server(self, pid: ProcessId) -> "ReassignmentServer":
+        return self.servers[pid]
+
+
+def build_reassignment_fleet(
+    config: SystemConfig,
+    latency: Optional[LatencyModel] = None,
+) -> ReassignmentFleet:
+    """Wire up a fleet of reassignment servers (Algorithms 3/4 only)."""
+    loop = SimLoop()
+    network = Network(loop, latency or ConstantLatency(1.0))
+    servers = {pid: ReassignmentServer(pid, network, config) for pid in config.servers}
+    return ReassignmentFleet(loop=loop, network=network, config=config, servers=servers)
 
 
 def build_dynamic_cluster(

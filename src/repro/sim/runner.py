@@ -35,6 +35,8 @@ class RunReport:
             f"operations      : {self.operations} ({self.restarts} restarts)",
             f"messages sent   : {self.messages_sent}",
         ]
+        if self.read_latency is None and self.write_latency is None:
+            lines.append("latency         : (no completed operations)")
         if self.read_latency is not None:
             lines.append(f"read  latency   : {self.read_latency.as_row()}")
         if self.write_latency is not None:
@@ -55,6 +57,8 @@ def run_workload(
     sequential" model).  Crash events from ``failures`` are armed before the
     run starts.
     """
+    if max_time is not None and max_time <= 0:
+        raise ConfigurationError(f"max_time must be positive, got {max_time}")
     unknown = set(workload.clients()) - set(cluster.clients)
     if unknown:
         raise ConfigurationError(f"workload references unknown clients: {sorted(unknown)}")

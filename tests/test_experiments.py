@@ -1,0 +1,344 @@
+"""Tests for the experiment subsystem: registry, specs, sweeps, executor, results."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ClusterSpec,
+    FailureSpec,
+    LatencySpec,
+    RunSpec,
+    ScenarioSpec,
+    TransferEvent,
+    WorkloadSpec,
+    compare_payloads,
+    dumps_json,
+    execute_many,
+    execute_run,
+    expand_grid,
+    flatten_spec,
+    get_scenario,
+    load_payload,
+    register,
+    register_spec,
+    run_spec,
+    scenario,
+    scenario_names,
+    to_payload,
+    unregister,
+    write_csv,
+    write_json,
+)
+from repro.experiments.registry import FunctionScenario
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_builtin_catalogue_has_headline_scenarios(self):
+        names = scenario_names()
+        assert len(names) >= 6
+        for expected in (
+            "quickstart",
+            "fig1-walkthrough",
+            "wmqs-vs-mqs",
+            "epoch-vs-epochless",
+            "storage-vs-reconfig",
+            "dynamic-storage-adaptation",
+        ):
+            assert expected in names
+
+    def test_decorator_registers_and_lookup_returns_entry(self):
+        @scenario("test-registry-demo", description="demo", tags=("test",))
+        def demo(x: int = 1):
+            return {"x": x}
+
+        try:
+            entry = get_scenario("test-registry-demo")
+            assert entry.name == "test-registry-demo"
+            assert entry.tags == ("test",)
+            assert entry.defaults == {"x": 1}
+            assert entry.execute() == {"x": 1}
+            assert entry.execute({"x": 5}) == {"x": 5}
+        finally:
+            unregister("test-registry-demo")
+
+    def test_duplicate_registration_rejected(self):
+        @scenario("test-registry-dup")
+        def first():
+            return {}
+
+        try:
+            with pytest.raises(ConfigurationError, match="already registered"):
+                register(FunctionScenario(lambda: {}, "test-registry-dup"))
+        finally:
+            unregister("test-registry-dup")
+
+    def test_unknown_scenario_lists_known_names(self):
+        with pytest.raises(ConfigurationError, match="quickstart"):
+            get_scenario("no-such-scenario")
+
+    def test_function_scenario_requires_defaults(self):
+        with pytest.raises(ConfigurationError, match="default"):
+            FunctionScenario(lambda x: {"x": x}, "test-no-default")
+
+    def test_unknown_parameter_rejected(self):
+        entry = get_scenario("fig1-walkthrough")
+        with pytest.raises(ConfigurationError, match="no parameters"):
+            entry.execute({"bogus": 1})
+
+
+# ---------------------------------------------------------------------------
+# Declarative specs
+# ---------------------------------------------------------------------------
+
+SMALL_SPEC = ScenarioSpec(
+    name="test-small",
+    cluster=ClusterSpec(flavour="dynamic-weighted", n=4, f=1, client_count=1),
+    workload=WorkloadSpec(operations_per_client=3, mean_think_time=0.5),
+    latency=LatencySpec(kind="uniform", low=0.5, high=1.5),
+)
+
+
+class TestScenarioSpec:
+    def test_with_overrides_replaces_nested_fields(self):
+        spec = SMALL_SPEC.with_overrides({"cluster.n": 6, "seed": 9, "workload.read_ratio": 0.9})
+        assert spec.cluster.n == 6
+        assert spec.seed == 9
+        assert spec.workload.read_ratio == 0.9
+        # The original is untouched (specs are frozen).
+        assert SMALL_SPEC.cluster.n == 4 and SMALL_SPEC.seed == 0
+
+    def test_with_overrides_rejects_unknown_paths(self):
+        with pytest.raises(ConfigurationError, match="unknown parameter"):
+            SMALL_SPEC.with_overrides({"cluster.bogus": 1})
+        with pytest.raises(ConfigurationError, match="unknown parameter"):
+            SMALL_SPEC.with_overrides({"nonsense": 1})
+
+    def test_flatten_spec_exposes_dotted_parameters(self):
+        flat = flatten_spec(SMALL_SPEC)
+        assert flat["cluster.n"] == 4
+        assert flat["workload.operations_per_client"] == 3
+        assert flat["latency.kind"] == "uniform"
+        assert flat["seed"] == 0
+        assert "name" not in flat and "description" not in flat
+
+    def test_run_spec_produces_json_serialisable_result(self):
+        result = run_spec(SMALL_SPEC)
+        json.dumps(result)  # must not raise
+        assert result["operations"] == 3
+        assert result["flavour"] == "dynamic-weighted"
+        assert result["weights"] == {"s1": 1.0, "s2": 1.0, "s3": 1.0, "s4": 1.0}
+
+    def test_run_spec_is_deterministic(self):
+        assert run_spec(SMALL_SPEC) == run_spec(SMALL_SPEC)
+
+    def test_transfers_require_dynamic_flavour(self):
+        spec = ScenarioSpec(
+            name="test-bad-transfer",
+            cluster=ClusterSpec(flavour="static-majority", n=4, client_count=1),
+            transfers=(TransferEvent(at=1.0, source="s1", target="s2", delta=0.1),),
+        )
+        with pytest.raises(ConfigurationError, match="dynamic-weighted"):
+            run_spec(spec)
+
+    def test_failures_and_transfers_execute(self):
+        spec = ScenarioSpec(
+            name="test-crash-and-transfer",
+            cluster=ClusterSpec(flavour="dynamic-weighted", n=5, f=2, client_count=1),
+            workload=WorkloadSpec(operations_per_client=5, mean_think_time=2.0),
+            failures=FailureSpec(crashes=(("s5", 4.0),)),
+            # Stay above the RP-Integrity bound W_{S,0}/(2(n-f)) = 5/6.
+            transfers=(TransferEvent(at=2.0, source="s1", target="s2", delta=0.15),),
+            max_time=10_000.0,
+        )
+        result = run_spec(spec)
+        assert result["operations"] == 5
+        assert result["transfers"][0]["effective"] is True
+        assert result["weights"]["s2"] == pytest.approx(1.15)
+
+    def test_transfers_override_coerces_plain_sequences(self):
+        # Overrides from the CLI/JSON arrive as lists of lists, not events.
+        spec = SMALL_SPEC.with_overrides({"transfers": [[2.0, "s1", "s2", 0.2]]})
+        result = run_spec(spec)
+        assert result["transfers"][0]["effective"] is True
+        assert result["weights"]["s2"] == pytest.approx(1.2)
+
+    def test_malformed_transfer_override_rejected(self):
+        spec = SMALL_SPEC.with_overrides({"transfers": [[2.0, "s1"]]})
+        with pytest.raises(ConfigurationError, match="invalid transfer"):
+            run_spec(spec)
+
+    def test_cluster_n_must_match_explicit_weights(self):
+        cluster = ClusterSpec(
+            flavour="static-weighted", n=7, f=1,
+            initial_weights=(("s1", 1.6), ("s2", 1.6), ("s3", 0.7), ("s4", 0.7), ("s5", 0.4)),
+        )
+        with pytest.raises(ConfigurationError, match="does not match"):
+            cluster.system_config()
+
+    def test_fixed_request_scenarios_validate_n(self):
+        for name in ("fig1-walkthrough", "epoch-vs-epochless"):
+            with pytest.raises(ConfigurationError, match="n >= 7"):
+                get_scenario(name).execute({"n": 5})
+
+    def test_unknown_latency_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="latency kind"):
+            LatencySpec(kind="bogus").build()
+
+    def test_unknown_flavour_rejected(self):
+        with pytest.raises(ConfigurationError, match="flavour"):
+            ClusterSpec(flavour="bogus").system_config()
+
+
+# ---------------------------------------------------------------------------
+# Sweep expansion
+# ---------------------------------------------------------------------------
+
+
+class TestSweep:
+    def test_grid_expansion_is_cartesian_and_ordered(self):
+        runs = expand_grid("demo", grid={"b": [1, 2], "a": ["x", "y", "z"]})
+        assert len(runs) == 6
+        # Axes are sorted by name; values keep their given order.
+        assert runs[0].params == (("a", "x"), ("b", 1))
+        assert runs[1].params == (("a", "x"), ("b", 2))
+        assert runs[-1].params == (("a", "z"), ("b", 2))
+        assert len({run.run_id for run in runs}) == 6
+
+    def test_seed_lists_are_an_axis(self):
+        runs = expand_grid("demo", grid={"cluster.n": [4, 5], "seed": [0, 1, 2]})
+        assert len(runs) == 6
+        seeds = [run.params_dict["seed"] for run in runs]
+        assert seeds == [0, 1, 2, 0, 1, 2]
+
+    def test_base_params_are_fixed_across_runs(self):
+        runs = expand_grid("demo", grid={"seed": [0, 1]}, base={"cluster.n": 7})
+        assert all(run.params_dict["cluster.n"] == 7 for run in runs)
+
+    def test_grid_axis_overrides_base(self):
+        runs = expand_grid("demo", grid={"seed": [3]}, base={"seed": 0})
+        assert runs == [RunSpec("demo", (("seed", 3),))]
+
+    def test_empty_grid_yields_single_run(self):
+        assert expand_grid("demo") == [RunSpec("demo", ())]
+
+    def test_invalid_axes_rejected(self):
+        with pytest.raises(ConfigurationError, match="no values"):
+            expand_grid("demo", grid={"seed": []})
+        with pytest.raises(ConfigurationError, match="list/tuple"):
+            expand_grid("demo", grid={"seed": "012"})
+
+
+# ---------------------------------------------------------------------------
+# Executor: serial / parallel equivalence
+# ---------------------------------------------------------------------------
+
+
+class TestExecutor:
+    def test_execute_run_resolves_registry(self):
+        result = execute_run(RunSpec("fig1-walkthrough"))
+        assert result.run_id == "fig1-walkthrough"
+        assert [row["effective"] for row in result.result["transfers"]] == [
+            True, True, True, False, False,
+        ]
+
+    def test_parallel_equals_serial(self):
+        runs = expand_grid(
+            "quickstart",
+            grid={"seed": [0, 1, 2]},
+            base={"workload.operations_per_client": 3},
+        )
+        serial = execute_many(runs, workers=1)
+        parallel = execute_many(runs, workers=3)
+        assert dumps_json(serial) == dumps_json(parallel)
+
+    def test_results_preserve_input_order(self):
+        runs = expand_grid("quickstart", grid={"seed": [5, 1, 3]},
+                           base={"workload.operations_per_client": 2})
+        results = execute_many(runs, workers=2)
+        assert [r.params for r in results] == [run.params for run in runs]
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ConfigurationError, match="workers"):
+            execute_many([], workers=0)
+
+
+# ---------------------------------------------------------------------------
+# Result sinks and comparison
+# ---------------------------------------------------------------------------
+
+
+class TestResults:
+    def _small_results(self):
+        runs = expand_grid("quickstart", grid={"seed": [0, 1]},
+                           base={"workload.operations_per_client": 2})
+        return execute_many(runs)
+
+    def test_json_round_trip(self, tmp_path):
+        results = self._small_results()
+        path = tmp_path / "results.json"
+        write_json(results, str(path))
+        payload = load_payload(str(path))
+        assert payload == to_payload(results)
+        assert compare_payloads(payload, to_payload(results)) == []
+
+    def test_csv_sink_writes_flattened_columns(self, tmp_path):
+        results = self._small_results()
+        path = tmp_path / "results.csv"
+        write_csv(results, str(path))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3  # header + 2 runs
+        header = lines[0].split(",")
+        assert "run_id" in header
+        assert "param.seed" in header
+        assert "result.duration" in header
+
+    def test_compare_detects_field_and_run_diffs(self):
+        results = self._small_results()
+        current = to_payload(results)
+        baseline = json.loads(json.dumps(current))
+        baseline[0]["result"]["operations"] += 1
+        del baseline[1]
+        diffs = compare_payloads(current, baseline)
+        kinds = {diff["kind"] for diff in diffs}
+        assert kinds == {"field", "extra-run"}
+        field_diff = next(diff for diff in diffs if diff["kind"] == "field")
+        assert field_diff["field"] == "result.operations"
+
+    def test_compare_respects_relative_tolerance(self):
+        current = [{"run_id": "r", "scenario": "s", "params": {}, "result": {"x": 1.0}}]
+        baseline = [{"run_id": "r", "scenario": "s", "params": {}, "result": {"x": 1.0 + 1e-12}}]
+        assert compare_payloads(current, baseline) == []
+        assert compare_payloads(current, baseline, rel_tol=1e-15, abs_tol=0.0) != []
+
+    def test_compare_treats_nan_as_equal(self):
+        payload = [{"run_id": "r", "scenario": "s", "params": {},
+                    "result": {"x": math.nan}}]
+        assert compare_payloads(payload, json.loads(json.dumps(payload))) == []
+
+
+# ---------------------------------------------------------------------------
+# Spec-backed registration helper
+# ---------------------------------------------------------------------------
+
+
+class TestRegisterSpec:
+    def test_register_spec_round_trip(self):
+        register_spec(SMALL_SPEC, tags=("test",))
+        try:
+            entry = get_scenario("test-small")
+            assert entry.kind == "spec"
+            assert entry.defaults["cluster.n"] == 4
+            result = entry.execute({"cluster.n": 5, "cluster.f": 2})
+            assert len(result["weights"]) == 5
+        finally:
+            unregister("test-small")

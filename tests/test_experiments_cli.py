@@ -1,0 +1,116 @@
+"""CLI tests: in-process `main()` calls plus one real `python -m repro` smoke."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments.cli import main
+
+FAST = ["-p", "workload.operations_per_client=2"]
+
+
+class TestListCommand:
+    def test_list_shows_registered_scenarios(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("quickstart", "fig1-walkthrough", "wmqs-vs-mqs",
+                     "epoch-vs-epochless", "storage-vs-reconfig"):
+            assert name in out
+
+    def test_list_json_and_tag_filter(self, capsys):
+        assert main(["list", "--json", "--tag", "smoke"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [entry["name"] for entry in payload] == ["quickstart"]
+        assert "cluster.n" in payload[0]["parameters"]
+
+
+class TestRunCommand:
+    def test_run_prints_result_json(self, capsys):
+        assert main(["run", "quickstart", *FAST]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["scenario"] == "quickstart"
+        # 2 clients x 2 operations per client
+        assert payload[0]["result"]["operations"] == 4
+
+    def test_run_writes_json_file(self, tmp_path, capsys):
+        out_path = tmp_path / "run.json"
+        assert main(["run", "quickstart", *FAST, "--json", str(out_path), "--quiet"]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload[0]["result"]["operations"] == 4
+
+    def test_run_unknown_scenario_fails_with_listing(self, capsys):
+        assert main(["run", "no-such-scenario"]) == 2
+        assert "quickstart" in capsys.readouterr().err
+
+    def test_run_bad_param_syntax_fails(self, capsys):
+        assert main(["run", "quickstart", "-p", "seed"]) == 2
+        assert "key=value" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    def test_sweep_workers_produce_identical_json(self, tmp_path, capsys):
+        args = ["sweep", "quickstart", "-g", "cluster.n=4,5", "--seeds", "0,1",
+                "-p", "workload.operations_per_client=2", "-p", "cluster.f=1", "--quiet"]
+        serial = tmp_path / "serial.json"
+        parallel = tmp_path / "parallel.json"
+        assert main([*args, "--workers", "1", "--json", str(serial)]) == 0
+        assert main([*args, "--workers", "4", "--json", str(parallel)]) == 0
+        assert serial.read_text() == parallel.read_text()
+        payload = json.loads(serial.read_text())
+        assert len(payload) == 4
+        assert sorted({entry["params"]["cluster.n"] for entry in payload}) == [4, 5]
+
+    def test_sweep_csv_sink(self, tmp_path, capsys):
+        out_path = tmp_path / "sweep.csv"
+        assert main(["sweep", "quickstart", "--seeds", "0,1", *FAST,
+                     "--csv", str(out_path), "--quiet"]) == 0
+        lines = out_path.read_text().strip().splitlines()
+        assert len(lines) == 3
+
+
+class TestCompareCommand:
+    def test_compare_identical_and_diverging(self, tmp_path, capsys):
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        assert main(["run", "quickstart", *FAST, "--json", str(first), "--quiet"]) == 0
+        assert main(["run", "quickstart", *FAST, "--json", str(second), "--quiet"]) == 0
+        assert main(["compare", str(first), str(second)]) == 0
+        assert "results match" in capsys.readouterr().out
+
+        assert main(["run", "quickstart", "-p", "workload.operations_per_client=3",
+                     "--json", str(second), "--quiet"]) == 0
+        assert main(["compare", str(first), str(second)]) == 1
+        assert "difference(s) found" in capsys.readouterr().out
+
+    def test_compare_missing_file_fails_cleanly(self, tmp_path, capsys):
+        missing = tmp_path / "missing.json"
+        present = tmp_path / "present.json"
+        assert main(["run", "quickstart", *FAST, "--json", str(present), "--quiet"]) == 0
+        assert main(["compare", str(present), str(missing)]) == 2
+
+    def test_compare_malformed_json_fails_cleanly(self, tmp_path, capsys):
+        present = tmp_path / "present.json"
+        corrupt = tmp_path / "corrupt.json"
+        assert main(["run", "quickstart", *FAST, "--json", str(present), "--quiet"]) == 0
+        corrupt.write_text('[{"run_id": "tru')
+        assert main(["compare", str(present), str(corrupt)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+def test_python_dash_m_repro_list_smoke():
+    """`python -m repro list` works as a real subprocess (the CI smoke step)."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "list"],
+        capture_output=True, text=True, env=env, timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "quickstart" in completed.stdout
+    assert "fig1-walkthrough" in completed.stdout

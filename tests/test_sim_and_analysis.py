@@ -152,6 +152,30 @@ class TestRunWorkload:
         with pytest.raises(ConfigurationError):
             run_workload(cluster, workload)
 
+    def test_non_positive_max_time_rejected(self):
+        config = SystemConfig.uniform(3, f=1)
+        cluster = build_dynamic_cluster(config, client_count=1)
+        workload = uniform_workload(list(cluster.clients), 2, seed=0)
+        for max_time in (0.0, -1.0):
+            with pytest.raises(ConfigurationError, match="max_time"):
+                run_workload(cluster, workload, max_time=max_time)
+
+    def test_describe_renders_zero_operation_runs(self):
+        from repro.sim.runner import RunReport
+
+        report = RunReport(
+            flavour="dynamic-weighted",
+            duration=0.0,
+            read_latency=None,
+            write_latency=None,
+            messages_sent=0,
+            restarts=0,
+            operations=0,
+        )
+        text = report.describe()
+        assert "no completed operations" in text
+        assert "read  latency" not in text and "write latency" not in text
+
 
 class TestQuorumLatencyAnalysis:
     def wan_rtt(self):
