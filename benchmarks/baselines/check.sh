@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# The regression gate: re-run every baselined scenario with default
+# parameters and compare against the checked-in JSON.  CI runs this on
+# every push; a diff means a semantic change that must be intentional
+# (regenerate with regen.sh and commit the new baseline alongside the
+# code change).
+set -e
+cd "$(dirname "$0")/../.."
+status=0
+for baseline in benchmarks/baselines/*.json; do
+    name=$(basename "$baseline" .json)
+    fresh="${TMPDIR:-/tmp}/repro-baseline-$name.json"
+    PYTHONPATH=src python -m repro run "$name" --json "$fresh" --quiet
+    if PYTHONPATH=src python -m repro compare "$fresh" "$baseline"; then
+        echo "ok: $name"
+    else
+        echo "REGRESSION: $name diverges from $baseline" >&2
+        status=1
+    fi
+done
+exit $status

@@ -65,6 +65,7 @@ from repro.quorum import (
 from repro.sim.cluster import build_dynamic_cluster, build_static_cluster
 from repro.sim.runner import run_workload
 from repro.sim.workload import uniform_workload
+from repro.workloads import WorkloadGenerator, workload_stats
 
 __version__ = "1.0.0"
 
@@ -109,5 +110,7 @@ __all__ = [
     "build_dynamic_cluster",
     "build_static_cluster",
     "uniform_workload",
+    "WorkloadGenerator",
+    "workload_stats",
     "run_workload",
 ]

@@ -16,7 +16,12 @@
 * :mod:`repro.experiments.cli` — the ``python -m repro`` entry point.
 """
 
-from repro.experiments.executor import RunResult, execute_many, execute_run
+from repro.experiments.executor import (
+    RunResult,
+    execute_many,
+    execute_run,
+    execute_stream,
+)
 from repro.experiments.registry import (
     FunctionScenario,
     Scenario,
@@ -33,27 +38,37 @@ from repro.experiments.results import (
     compare_payloads,
     dumps_json,
     load_payload,
+    payload_entry,
     to_payload,
     write_csv,
     write_json,
+    write_jsonl_line,
 )
 from repro.experiments.spec import (
+    ArrivalSpec,
     ClusterSpec,
     FailureSpec,
+    KeySpec,
     LatencySpec,
+    MixSpec,
+    PhaseSpec,
     ScenarioSpec,
     TransferEvent,
     WorkloadSpec,
     flatten_spec,
     run_spec,
 )
-from repro.experiments.sweep import RunSpec, expand_grid
+from repro.experiments.sweep import RunSpec, Sweep, expand_grid, expand_points
 
 __all__ = [
     # spec
     "ScenarioSpec",
     "ClusterSpec",
     "WorkloadSpec",
+    "KeySpec",
+    "ArrivalSpec",
+    "MixSpec",
+    "PhaseSpec",
     "LatencySpec",
     "FailureSpec",
     "TransferEvent",
@@ -72,14 +87,19 @@ __all__ = [
     "all_scenarios",
     # sweep + executor
     "RunSpec",
+    "Sweep",
     "expand_grid",
+    "expand_points",
     "RunResult",
     "execute_run",
     "execute_many",
+    "execute_stream",
     # results
+    "payload_entry",
     "to_payload",
     "dumps_json",
     "write_json",
+    "write_jsonl_line",
     "write_csv",
     "load_payload",
     "compare_payloads",

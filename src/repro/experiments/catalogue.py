@@ -21,15 +21,28 @@ from repro.core.spec import SystemConfig, check_rp_integrity
 from repro.errors import ConfigurationError, DeadlockError, SimTimeoutError
 from repro.experiments.registry import register_spec, scenario
 from repro.experiments.spec import (
+    ArrivalSpec,
     ClusterSpec,
     FailureSpec,
+    KeySpec,
     LatencySpec,
+    MixSpec,
+    PhaseSpec,
     ScenarioSpec,
     TransferEvent,
     WorkloadSpec,
 )
-from repro.net.latency import ConstantLatency, PerLinkLatency, SlowdownLatency
+from repro.monitoring.controller import WeightController
+from repro.monitoring.monitor import LatencyMonitor, install_probe_responder
+from repro.monitoring.policy import proportional_inverse_latency_weights
+from repro.net.latency import (
+    ConstantLatency,
+    PerLinkLatency,
+    SlowdownLatency,
+    UniformLatency,
+)
 from repro.net.network import Network
+from repro.net.process import Process
 from repro.net.simloop import SimLoop, gather
 from repro.quorum.availability import minimum_quorum_cardinality
 from repro.quorum.majority import MajorityQuorumSystem
@@ -41,11 +54,18 @@ from repro.sim.cluster import (
     build_static_cluster,
 )
 from repro.sim.metrics import summarize
+from repro.sim.runner import run_workload
 from repro.storage.reconfigurable import (
     ReconfigurableStorageClient,
     ReconfigurableStorageServer,
 )
 from repro.types import server_set
+from repro.workloads.arrivals import ClosedLoopArrivals
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.keys import HotspotKeys
+from repro.workloads.mix import OperationMix
+from repro.workloads.phases import Phase
+from repro.workloads.stats import workload_stats
 
 __all__ = [
     "fig1_walkthrough",
@@ -53,6 +73,7 @@ __all__ = [
     "epoch_vs_epochless",
     "storage_vs_reconfig",
     "dynamic_storage_adaptation",
+    "hotspot_shift_monitoring",
 ]
 
 
@@ -443,7 +464,7 @@ register_spec(
         description="A small dynamic-weighted cluster (n=5, f=1) running a "
         "seeded read/write mix with one mid-run weight transfer.",
         cluster=ClusterSpec(flavour="dynamic-weighted", n=5, f=1, client_count=2),
-        workload=WorkloadSpec(operations_per_client=10, read_ratio=0.5),
+        workload=WorkloadSpec(operations_per_client=10, mix=MixSpec(read_ratio=0.5)),
         latency=LatencySpec(kind="uniform", low=0.5, high=1.5),
         transfers=(TransferEvent(at=5.0, source="s1", target="s2", delta=0.25),),
         seed=7,
@@ -457,7 +478,7 @@ register_spec(
         description="Classical ABD over the plain majority quorum system "
         "(n=5): the MQS baseline every weighted variant is compared against.",
         cluster=ClusterSpec(flavour="static-majority", n=5, client_count=2),
-        workload=WorkloadSpec(operations_per_client=20, read_ratio=0.7),
+        workload=WorkloadSpec(operations_per_client=20, mix=MixSpec(read_ratio=0.7)),
         latency=LatencySpec(kind="lognormal", median=1.0, sigma=0.4),
     ),
     tags=("storage", "baseline"),
@@ -477,7 +498,7 @@ register_spec(
                 ("s1", 1.6), ("s2", 1.6), ("s3", 0.7), ("s4", 0.7), ("s5", 0.4),
             ),
         ),
-        workload=WorkloadSpec(operations_per_client=20, read_ratio=0.7),
+        workload=WorkloadSpec(operations_per_client=20, mix=MixSpec(read_ratio=0.7)),
         latency=LatencySpec(kind="lognormal", median=1.0, sigma=0.4),
     ),
     tags=("storage", "baseline"),
@@ -489,10 +510,168 @@ register_spec(
         description="The dynamic-weighted store stays live while at most f "
         "servers crash mid-workload (n=5, f=2, two crashes at t=10).",
         cluster=ClusterSpec(flavour="dynamic-weighted", n=5, f=2, client_count=2),
-        workload=WorkloadSpec(operations_per_client=15, read_ratio=0.5),
+        workload=WorkloadSpec(operations_per_client=15, mix=MixSpec(read_ratio=0.5)),
         latency=LatencySpec(kind="uniform", low=0.5, high=1.5),
         failures=FailureSpec(crashes=(("s4", 10.0), ("s5", 10.0))),
         max_time=10_000.0,
     ),
     tags=("storage", "failures"),
 )
+
+
+# ---------------------------------------------------------------------------
+# Workload-driven scenarios: skewed keys, open-loop arrivals, hotspot shifts.
+# ---------------------------------------------------------------------------
+
+register_spec(
+    ScenarioSpec(
+        name="skewed-reassignment",
+        description="Zipfian key popularity (s=1.2 over 32 keys) stressing the "
+        "dynamic-weighted store while two mid-run transfers re-point quorums; "
+        "the result carries the achieved skew next to the latencies.",
+        cluster=ClusterSpec(flavour="dynamic-weighted", n=5, f=1, client_count=3),
+        workload=WorkloadSpec(
+            operations_per_client=12,
+            keys=KeySpec(kind="zipfian", space=32, zipf_s=1.2),
+            arrivals=ArrivalSpec(kind="closed", mean_think_time=1.0),
+            mix=MixSpec(read_ratio=0.7),
+        ),
+        latency=LatencySpec(kind="uniform", low=0.5, high=1.5),
+        transfers=(
+            TransferEvent(at=6.0, source="s1", target="s2", delta=0.2),
+            TransferEvent(at=9.0, source="s3", target="s2", delta=0.15),
+        ),
+        seed=13,
+    ),
+    tags=("storage", "workload", "skew"),
+)
+
+register_spec(
+    ScenarioSpec(
+        name="open-loop-saturation",
+        description="Open-loop Poisson arrivals (rate 0.5/client over 4 "
+        "clients) drive the store regardless of completion times, so queueing "
+        "delay — not arrival spacing — absorbs the slack as load approaches "
+        "capacity.",
+        cluster=ClusterSpec(flavour="dynamic-weighted", n=5, f=1, client_count=4),
+        workload=WorkloadSpec(
+            operations_per_client=15,
+            keys=KeySpec(kind="uniform", space=16),
+            arrivals=ArrivalSpec(kind="poisson", rate=0.5),
+            mix=MixSpec(read_ratio=0.5),
+        ),
+        latency=LatencySpec(kind="uniform", low=0.5, high=1.5),
+        seed=5,
+        max_time=10_000.0,
+    ),
+    tags=("storage", "workload", "open-loop"),
+)
+
+register_spec(
+    ScenarioSpec(
+        name="hotspot-shift",
+        description="A hotspot workload (25% of keys take 90% of traffic) "
+        "whose hot set rotates to the opposite half of the key space at t=12 "
+        "via a workload phase — the declarative form of a mid-run skew flip.",
+        cluster=ClusterSpec(flavour="dynamic-weighted", n=5, f=1, client_count=2),
+        workload=WorkloadSpec(
+            operations_per_client=16,
+            keys=KeySpec(kind="hotspot", space=16, hot_fraction=0.25, hot_weight=0.9),
+            phases=(PhaseSpec(at=12.0, overrides=(("keys.offset", 8),)),),
+        ),
+        latency=LatencySpec(kind="uniform", low=0.5, high=1.5),
+        seed=21,
+    ),
+    tags=("storage", "workload", "skew"),
+)
+
+
+@scenario(
+    "hotspot-shift-monitoring",
+    description="Monitoring-driven reassignment under a workload shift: when "
+    "the hot set flips and s1/s2 degrade, latency probes feed the "
+    "inverse-latency policy and per-server controllers push weight to the "
+    "healthy servers.",
+    tags=("workload", "monitoring", "storage"),
+)
+def hotspot_shift_monitoring(
+    shift_at: float = 30.0,
+    slow_factor: float = 6.0,
+    operations: int = 18,
+    probe_interval: float = 6.0,
+    control_rounds: int = 8,
+    seed: int = 3,
+) -> Dict[str, Any]:
+    if operations < 1:
+        raise ConfigurationError(f"need at least one operation, got {operations}")
+    if control_rounds < 1:
+        raise ConfigurationError(f"need at least one control round, got {control_rounds}")
+    config = SystemConfig.uniform(5, f=1)
+    latency = SlowdownLatency(
+        UniformLatency(0.5, 1.5, seed=seed),
+        slow=["s1", "s2"],
+        factor=slow_factor,
+        start_at=shift_at,
+    )
+    cluster = build_dynamic_cluster(config, latency=latency, client_count=2)
+    for server in cluster.servers.values():
+        install_probe_responder(server)
+    prober = Process("mon", cluster.network)
+    monitor = LatencyMonitor(config.servers)
+    controllers = {
+        pid: WeightController(server, tolerance=0.05, max_step=0.3)
+        for pid, server in cluster.servers.items()
+    }
+
+    # The workload mirrors the infrastructure event: the hot set rotates at
+    # shift_at, the moment s1/s2 degrade.
+    generator = WorkloadGenerator(
+        keys=HotspotKeys(space=16, hot_fraction=0.25, hot_weight=0.9),
+        arrivals=ClosedLoopArrivals(mean_think_time=2.0),
+        mix=OperationMix(read_ratio=0.6),
+        phases=(
+            Phase(start=shift_at, keys=HotspotKeys(space=16, hot_fraction=0.25,
+                                                   hot_weight=0.9, offset=8)),
+        ),
+    )
+    workload = generator.generate(tuple(cluster.clients), operations, seed=seed)
+
+    async def control_loop() -> None:
+        for _ in range(control_rounds):
+            await cluster.loop.sleep(probe_interval)
+            await monitor.probe(prober)
+            targets = proportional_inverse_latency_weights(
+                monitor.summary(default=1.0), config
+            )
+            for controller in controllers.values():
+                controller.set_targets(targets)
+                await controller.step()
+
+    cluster.loop.create_task(control_loop(), name="monitoring-control")
+    report = run_workload(cluster, workload, max_time=10_000.0)
+    cluster.loop.run()  # drain trailing control rounds and broadcast echoes
+
+    before: List[float] = []
+    after: List[float] = []
+    for client in cluster.clients.values():
+        for record in client.history:
+            (before if record.completed_at < shift_at else after).append(record.latency)
+    weights = {
+        pid: weight
+        for pid, weight in sorted(cluster.servers["s3"].local_weights().items())
+    }
+    transfers_attempted = sum(
+        1 for controller in controllers.values()
+        for step in controller.reports if step.attempted
+    )
+    return {
+        "operations": report.operations,
+        "duration": report.duration,
+        "messages": report.messages_sent,
+        "weights": weights,
+        "shifted_weight": sum(weights[pid] for pid in ("s3", "s4", "s5")),
+        "transfers_attempted": transfers_attempted,
+        "latency_before_shift": summarize(before).median if before else None,
+        "latency_after_shift": summarize(after).median if after else None,
+        "workload": workload_stats(workload),
+    }

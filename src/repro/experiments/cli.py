@@ -4,13 +4,17 @@ Subcommands:
 
 * ``list``     — show the registered scenarios (name, tags, parameters).
 * ``run``      — execute one scenario, optionally overriding parameters.
-* ``sweep``    — expand a parameter grid and execute it, serially or across
-  worker processes; results are identical either way.
-* ``compare``  — diff a result JSON against a baseline JSON.
+* ``sweep``    — expand a parameter grid (or ``--sample`` N points from it,
+  or explicit ``--point``s) and execute it, serially or across worker
+  processes; results are identical either way.  Progress is reported per
+  run on stderr, and ``--jsonl`` streams results to a chunked sink as they
+  complete instead of holding the whole sweep in memory.
+* ``compare``  — diff a result JSON/JSONL against a baseline (runs are
+  matched by ``run_id``, so completion order does not matter).
 
 Parameter values (``-p key=value`` and grid axis values) are parsed with
 ``ast.literal_eval`` and fall back to plain strings, so ``-p seed=3``,
-``-p workload.read_ratio=0.9`` and ``-p cluster.flavour=static-majority``
+``-p workload.mix.read_ratio=0.9`` and ``-p cluster.flavour=static-majority``
 all do what they look like.
 """
 
@@ -23,7 +27,7 @@ import sys
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import ReproError
-from repro.experiments.executor import RunResult, execute_many
+from repro.experiments.executor import RunResult, execute_many, execute_stream
 from repro.experiments.registry import all_scenarios, get_scenario
 from repro.experiments.results import (
     compare_payloads,
@@ -32,8 +36,9 @@ from repro.experiments.results import (
     to_payload,
     write_csv,
     write_json,
+    write_jsonl_line,
 )
-from repro.experiments.sweep import RunSpec, expand_grid
+from repro.experiments.sweep import RunSpec, Sweep, expand_grid, expand_points
 
 __all__ = ["main"]
 
@@ -125,17 +130,48 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
+def _sweep_runs(args: argparse.Namespace) -> List[RunSpec]:
     grid = _parse_grid(args.grid)
     if args.seeds:
         grid["seed"] = [_parse_value(value) for value in args.seeds.split(",") if value != ""]
     base = _parse_params(args.param)
-    get_scenario(args.scenario)
-    runs = expand_grid(args.scenario, grid=grid, base=base)
-    results = execute_many(runs, workers=args.workers)
-    _emit(results, args)
+    if args.point:
+        if grid or args.sample is not None:
+            raise ReproError("--point cannot be combined with -g/--seeds/--sample")
+        points = [_parse_params(point.split()) for point in args.point]
+        return expand_points(args.scenario, points, base=base)
+    if args.sample is not None:
+        sweep = Sweep.of(args.scenario, grid=grid, base=base)
+        return sweep.sample(args.sample, seed=args.sample_seed)
+    return expand_grid(args.scenario, grid=grid, base=base)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    get_scenario(args.scenario)  # fail fast with the list of known names
+    runs = _sweep_runs(args)
+    total = len(runs)
+    # Buffer results only for sinks that need the complete, input-ordered
+    # list; a --jsonl-only sweep streams in constant memory.
+    need_buffer = bool(args.json or args.csv) or not args.quiet
+    buffer: Optional[List[Optional[RunResult]]] = [None] * total if need_buffer else None
+    jsonl_handle = open(args.jsonl, "w", encoding="utf-8") if args.jsonl else None
+    done = 0
+    try:
+        for index, result in execute_stream(runs, workers=args.workers):
+            done += 1
+            if jsonl_handle is not None:
+                write_jsonl_line(result, jsonl_handle)
+            if buffer is not None:
+                buffer[index] = result
+            if not args.no_progress:
+                print(f"[{done}/{total}] {result.run_id}", file=sys.stderr)
+    finally:
+        if jsonl_handle is not None:
+            jsonl_handle.close()
+    if buffer is not None:
+        _emit([result for result in buffer if result is not None], args)
     if getattr(args, "quiet", False):
-        print(f"{len(results)} run(s) completed")
+        print(f"{done} run(s) completed")
     return 0
 
 
@@ -190,10 +226,24 @@ def build_parser() -> argparse.ArgumentParser:
                          help="shorthand for a seed axis (-g seed=S1,S2,...)")
     p_sweep.add_argument("-p", "--param", action="append", default=[],
                          metavar="KEY=VALUE", help="fix a parameter across the sweep")
+    p_sweep.add_argument("--sample", type=int, metavar="N",
+                         help="run N seeded-random distinct grid points instead "
+                         "of the full cartesian product")
+    p_sweep.add_argument("--sample-seed", type=int, default=0, metavar="SEED",
+                         help="seed for --sample (default 0)")
+    p_sweep.add_argument("--point", action="append", default=[],
+                         metavar='"K=V K2=V2"',
+                         help="explicit parameter point, space-separated pairs "
+                         "(repeatable; replaces the grid)")
     p_sweep.add_argument("--workers", type=int, default=1,
                          help="worker processes (results are identical for any count)")
     p_sweep.add_argument("--json", metavar="PATH", help="write results to a JSON file")
     p_sweep.add_argument("--csv", metavar="PATH", help="write results to a CSV file")
+    p_sweep.add_argument("--jsonl", metavar="PATH",
+                         help="stream results to a JSONL file as runs complete "
+                         "(constant memory with --quiet and no --json/--csv)")
+    p_sweep.add_argument("--no-progress", action="store_true",
+                         help="suppress per-run progress lines on stderr")
     p_sweep.add_argument("--quiet", action="store_true", help="suppress stdout JSON")
     p_sweep.set_defaults(fn=_cmd_sweep)
 

@@ -7,21 +7,30 @@ bit-identical to a serial execution regardless of scheduling.  That property
 is what makes the parallel executor safe to use for paper-style sweeps —
 and it is asserted by the test-suite.
 
-``Pool.map`` preserves input order, so :func:`execute_many` always returns
-results in the order of its ``runs`` argument, for any worker count.
+Two consumption styles:
+
+* :func:`execute_many` — returns the full result list in the order of its
+  ``runs`` argument, for any worker count.
+* :func:`execute_stream` — a generator yielding ``(index, result)`` pairs in
+  *completion* order (via ``imap_unordered`` when parallel), calling an
+  optional ``progress(done, total)`` after each run.  Long sweeps stream
+  into chunked sinks without holding every result in memory, and the index
+  lets order-sensitive consumers reassemble the input order.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.experiments.registry import get_scenario
 from repro.experiments.sweep import RunSpec
 
-__all__ = ["RunResult", "execute_run", "execute_many"]
+__all__ = ["RunResult", "execute_run", "execute_many", "execute_stream"]
+
+ProgressCallback = Callable[[int, int], None]
 
 
 @dataclass(frozen=True)
@@ -44,6 +53,11 @@ def execute_run(run: RunSpec) -> RunResult:
     return RunResult(scenario=run.scenario, params=run.params, result=result)
 
 
+def _execute_indexed(indexed: Tuple[int, RunSpec]) -> Tuple[int, RunResult]:
+    index, run = indexed
+    return index, execute_run(run)
+
+
 def _pool_context() -> multiprocessing.context.BaseContext:
     # fork inherits the already-populated registry; spawn re-imports only the
     # built-in catalogue inside execute_run via the registry's lazy loader.
@@ -54,12 +68,52 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
-def execute_many(runs: Iterable[RunSpec], workers: int = 1) -> List[RunResult]:
-    """Execute every run, optionally fanning out across worker processes."""
+def execute_stream(
+    runs: Iterable[RunSpec],
+    workers: int = 1,
+    progress: Optional[ProgressCallback] = None,
+) -> Iterator[Tuple[int, RunResult]]:
+    """Yield ``(input_index, result)`` pairs as runs complete.
+
+    Serial execution (``workers=1``) yields in input order; parallel
+    execution yields in completion order.  Either way every input index
+    appears exactly once, and ``progress`` (if given) is called with
+    ``(completed, total)`` after each run.
+    """
     run_list = list(runs)
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
-    if workers == 1 or len(run_list) <= 1:
-        return [execute_run(run) for run in run_list]
-    with _pool_context().Pool(processes=min(workers, len(run_list))) as pool:
-        return pool.map(execute_run, run_list)
+    total = len(run_list)
+    done = 0
+    if workers == 1 or total <= 1:
+        for index, run in enumerate(run_list):
+            result = execute_run(run)
+            done += 1
+            if progress is not None:
+                progress(done, total)
+            yield index, result
+        return
+    with _pool_context().Pool(processes=min(workers, total)) as pool:
+        for index, result in pool.imap_unordered(
+            _execute_indexed, list(enumerate(run_list))
+        ):
+            done += 1
+            if progress is not None:
+                progress(done, total)
+            yield index, result
+
+
+def execute_many(
+    runs: Iterable[RunSpec],
+    workers: int = 1,
+    progress: Optional[ProgressCallback] = None,
+) -> List[RunResult]:
+    """Execute every run, optionally fanning out across worker processes.
+
+    Results come back in the order of ``runs`` for any worker count.
+    """
+    run_list = list(runs)
+    results: List[Optional[RunResult]] = [None] * len(run_list)
+    for index, result in execute_stream(run_list, workers=workers, progress=progress):
+        results[index] = result
+    return [result for result in results if result is not None]

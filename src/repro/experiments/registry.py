@@ -4,7 +4,7 @@ Two kinds of entries live here:
 
 * :class:`SpecScenario` — a declarative :class:`~repro.experiments.spec.
   ScenarioSpec` executed by the generic driver; its sweepable parameters are
-  the dotted paths of the spec tree (``cluster.n``, ``workload.read_ratio``,
+  the dotted paths of the spec tree (``cluster.n``, ``workload.keys.zipf_s``,
   ``seed`` ...).
 * :class:`FunctionScenario` — a plain function registered with the
   :func:`scenario` decorator; its sweepable parameters are the function's

@@ -1,11 +1,15 @@
-"""Result sinks (JSON / CSV) and baseline comparison.
+"""Result sinks (JSON / JSONL / CSV) and baseline comparison.
 
-The canonical interchange format is the *payload*: a JSON array with one
-object per run (``run_id``, ``scenario``, ``params``, ``result``).  Payloads
-contain no wall-clock timestamps — only virtual-time quantities and seeds —
-so two executions of the same sweep are byte-identical, which makes them
-usable as checked-in baselines: run a sweep, save the JSON, and later
-``python -m repro compare`` a fresh run against it.
+The canonical interchange format is the *payload*: one object per run
+(``run_id``, ``scenario``, ``params``, ``result``), stored either as a JSON
+array or as JSONL (one object per line, the streaming sink's format —
+appendable run-by-run without holding a sweep in memory).  Payloads contain
+no wall-clock timestamps — only virtual-time quantities and seeds — so two
+executions of the same sweep are byte-identical, which makes them usable as
+checked-in baselines: run a sweep, save the JSON, and later ``python -m
+repro compare`` a fresh run against it.  :func:`load_payload` sniffs the
+format, and :func:`compare_payloads` matches runs by ``run_id``, so array
+and JSONL payloads compare interchangeably regardless of completion order.
 
 The CSV sink flattens nested result dicts into dotted/indexed columns
 (``result.read_latency.median``, ``result.rows[2].speedup``) for
@@ -18,14 +22,16 @@ import csv
 import json
 import math
 from numbers import Number
-from typing import Any, Dict, Iterable, List, Mapping, Sequence
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, TextIO
 
 from repro.experiments.executor import RunResult
 
 __all__ = [
+    "payload_entry",
     "to_payload",
     "dumps_json",
     "write_json",
+    "write_jsonl_line",
     "load_payload",
     "write_csv",
     "flatten_values",
@@ -35,16 +41,18 @@ __all__ = [
 Payload = List[Dict[str, Any]]
 
 
+def payload_entry(result: RunResult) -> Dict[str, Any]:
+    """The canonical payload object for one run."""
+    return {
+        "run_id": result.run_id,
+        "scenario": result.scenario,
+        "params": dict(result.params),
+        "result": result.result,
+    }
+
+
 def to_payload(results: Iterable[RunResult]) -> Payload:
-    return [
-        {
-            "run_id": result.run_id,
-            "scenario": result.scenario,
-            "params": dict(result.params),
-            "result": result.result,
-        }
-        for result in results
-    ]
+    return [payload_entry(result) for result in results]
 
 
 def dumps_json(results: Iterable[RunResult]) -> str:
@@ -57,9 +65,21 @@ def write_json(results: Iterable[RunResult], path: str) -> None:
         handle.write("\n")
 
 
+def write_jsonl_line(result: RunResult, handle: TextIO) -> None:
+    """Append one run to an open JSONL sink and flush (chunked streaming)."""
+    handle.write(json.dumps(payload_entry(result), sort_keys=True))
+    handle.write("\n")
+    handle.flush()
+
+
 def load_payload(path: str) -> Payload:
+    """Load a payload, sniffing JSON-array vs JSONL from the first character."""
     with open(path, "r", encoding="utf-8") as handle:
-        return json.load(handle)
+        text = handle.read()
+    stripped = text.lstrip()
+    if not stripped or stripped.startswith("["):
+        return json.loads(text)
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
 
 
 def flatten_values(value: Any, prefix: str = "") -> Dict[str, Any]:

@@ -1,13 +1,21 @@
 """Declarative scenario specifications and the generic workload driver.
 
 A :class:`ScenarioSpec` describes one simulated experiment without running
-it: the cluster flavour and size, the latency model, the workload mix, the
+it: the cluster flavour and size, the latency model, the workload, the
 failure schedule, scheduled weight transfers (the protocol knob the paper is
 about) and the seed.  Every field lives in a small frozen dataclass, so a
 spec is hashable, picklable, and can be *swept*: :meth:`ScenarioSpec.
 with_overrides` rebuilds the tree with dotted-path parameter overrides
-(``{"cluster.n": 9, "workload.read_ratio": 0.9, "seed": 3}``), which is the
-substrate the sweep engine and the CLI build on.
+(``{"cluster.n": 9, "workload.mix.read_ratio": 0.9, "seed": 3}``), which is
+the substrate the sweep engine and the CLI build on.
+
+The workload section is itself composable: :class:`WorkloadSpec` nests a
+:class:`KeySpec` (uniform / zipfian / hotspot popularity), an
+:class:`ArrivalSpec` (closed-loop think time, open-loop Poisson, bursty
+on/off), a :class:`MixSpec` (read ratio, multi-key fan-out) and a tuple of
+:class:`PhaseSpec` mid-run axis flips — every leaf addressable by sweep
+paths such as ``workload.keys.zipf_s`` or ``workload.arrivals.rate``.  A
+``trace`` path replays a recorded JSONL workload instead of generating one.
 
 :func:`run_spec` is the generic driver: build the cluster, generate the
 workload, arm failures and transfers, run, and return a plain
@@ -35,12 +43,28 @@ from repro.sim.cluster import Cluster, build_dynamic_cluster, build_static_clust
 from repro.sim.failures import FailureSchedule
 from repro.sim.metrics import LatencySummary
 from repro.sim.runner import run_workload
-from repro.sim.workload import Workload, uniform_workload
+from repro.sim.workload import Workload
 from repro.types import ProcessId, VirtualTime, server_set
+from repro.workloads.arrivals import (
+    ArrivalProcess,
+    ClosedLoopArrivals,
+    OnOffArrivals,
+    PoissonArrivals,
+)
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.keys import HotspotKeys, KeyDistribution, UniformKeys, ZipfianKeys
+from repro.workloads.mix import OperationMix
+from repro.workloads.phases import Phase
+from repro.workloads.stats import workload_stats
+from repro.workloads.trace import read_trace
 
 __all__ = [
     "LatencySpec",
     "ClusterSpec",
+    "KeySpec",
+    "ArrivalSpec",
+    "MixSpec",
+    "PhaseSpec",
     "WorkloadSpec",
     "FailureSpec",
     "TransferEvent",
@@ -142,20 +166,138 @@ class ClusterSpec:
 
 
 @dataclass(frozen=True)
+class KeySpec:
+    """Which key-popularity distribution to build, and how.
+
+    ``kind`` selects ``uniform`` / ``zipfian`` / ``hotspot``; the remaining
+    fields parameterise the chosen distribution and are ignored by the
+    others (so sweeps can flip ``kind`` without invalidating sibling axes).
+    """
+
+    kind: str = "uniform"
+    space: int = 16
+    zipf_s: float = 1.1
+    hot_fraction: float = 0.125
+    hot_weight: float = 0.9
+    offset: int = 0
+
+    def build(self) -> KeyDistribution:
+        if self.kind == "uniform":
+            return UniformKeys(self.space)
+        if self.kind == "zipfian":
+            return ZipfianKeys(self.space, s=self.zipf_s)
+        if self.kind == "hotspot":
+            return HotspotKeys(
+                self.space,
+                hot_fraction=self.hot_fraction,
+                hot_weight=self.hot_weight,
+                offset=self.offset,
+            )
+        raise ConfigurationError(
+            f"unknown key distribution kind {self.kind!r}; "
+            "expected uniform, zipfian or hotspot"
+        )
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """Which arrival process to build, and how.
+
+    ``kind`` selects ``closed`` (think-time loop) / ``poisson`` (open-loop)
+    / ``onoff`` (bursty open-loop); the remaining fields parameterise the
+    chosen process and are ignored by the others.
+    """
+
+    kind: str = "closed"
+    mean_think_time: VirtualTime = 1.0
+    rate: float = 1.0
+    burst_rate: float = 4.0
+    burst_length: VirtualTime = 5.0
+    idle_time: VirtualTime = 10.0
+
+    def build(self) -> ArrivalProcess:
+        if self.kind == "closed":
+            return ClosedLoopArrivals(self.mean_think_time)
+        if self.kind == "poisson":
+            return PoissonArrivals(self.rate)
+        if self.kind == "onoff":
+            return OnOffArrivals(
+                burst_rate=self.burst_rate,
+                burst_length=self.burst_length,
+                idle_time=self.idle_time,
+            )
+        raise ConfigurationError(
+            f"unknown arrival kind {self.kind!r}; expected closed, poisson or onoff"
+        )
+
+
+@dataclass(frozen=True)
+class MixSpec:
+    """Read/write ratio and multi-key fan-out of one logical operation."""
+
+    read_ratio: float = 0.5
+    keys_per_op: int = 1
+
+    def build(self) -> OperationMix:
+        return OperationMix(read_ratio=self.read_ratio, keys_per_op=self.keys_per_op)
+
+
+_PHASE_AXES = ("keys", "arrivals", "mix")
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """A mid-run workload flip: at ``at``, apply ``overrides`` to the base axes.
+
+    ``overrides`` are dotted paths *within the workload section* and apply to
+    the base workload (not cumulatively to earlier phases), e.g.
+    ``(("keys.offset", 8), ("mix.read_ratio", 0.9))``.  Only the three axis
+    subtrees (``keys`` / ``arrivals`` / ``mix``) may be overridden.
+    """
+
+    at: VirtualTime
+    overrides: Tuple[Tuple[str, Any], ...] = ()
+
+
+@dataclass(frozen=True)
 class WorkloadSpec:
-    """Parameters of the seeded uniform read/write workload."""
+    """The pluggable workload section: axes, phases, or a trace to replay."""
 
     operations_per_client: int = 10
-    read_ratio: float = 0.5
-    mean_think_time: VirtualTime = 1.0
+    keys: KeySpec = KeySpec()
+    arrivals: ArrivalSpec = ArrivalSpec()
+    mix: MixSpec = MixSpec()
+    phases: Tuple[PhaseSpec, ...] = ()
+    trace: Optional[str] = None
+
+    def _phase(self, spec: "PhaseSpec") -> Phase:
+        overridden = self
+        for key, value in spec.overrides:
+            parts = key.split(".")
+            if parts[0] not in _PHASE_AXES or len(parts) < 2:
+                raise ConfigurationError(
+                    f"phase override {key!r} must target a field inside one of "
+                    f"the workload axes {_PHASE_AXES} (e.g. 'keys.offset')"
+                )
+            overridden = _replace_path(overridden, key, parts, value)
+        return Phase(
+            start=spec.at,
+            keys=overridden.keys.build(),
+            arrivals=overridden.arrivals.build(),
+            mix=overridden.mix.build(),
+        )
 
     def build(self, clients: Tuple[ProcessId, ...], seed: int) -> Workload:
-        return uniform_workload(
-            clients,
-            operations_per_client=self.operations_per_client,
-            read_ratio=self.read_ratio,
-            mean_think_time=self.mean_think_time,
-            seed=seed,
+        if self.trace is not None:
+            return read_trace(self.trace)
+        generator = WorkloadGenerator(
+            keys=self.keys.build(),
+            arrivals=self.arrivals.build(),
+            mix=self.mix.build(),
+            phases=tuple(self._phase(phase) for phase in _coerce_phases(self.phases)),
+        )
+        return generator.generate(
+            clients, operations_per_client=self.operations_per_client, seed=seed
         )
 
 
@@ -211,9 +353,6 @@ class ScenarioSpec:
         return spec
 
 
-_SWEEPABLE_CHILDREN = ("cluster", "workload", "latency", "failures")
-
-
 def _replace_path(obj: Any, full_key: str, parts: List[str], value: Any) -> Any:
     if not dataclasses.is_dataclass(obj):
         raise ConfigurationError(f"parameter path {full_key!r} descends into a non-spec value")
@@ -232,16 +371,31 @@ def _replace_path(obj: Any, full_key: str, parts: List[str], value: Any) -> Any:
     return dataclasses.replace(obj, **{head: child})
 
 
+def _flatten_into(flat: Dict[str, Any], obj: Any, prefix: str) -> None:
+    for field in dataclasses.fields(obj):
+        value = getattr(obj, field.name)
+        key = f"{prefix}{field.name}"
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            _flatten_into(flat, value, f"{key}.")
+        else:
+            flat[key] = value
+
+
 def flatten_spec(spec: ScenarioSpec) -> Dict[str, Any]:
-    """The sweepable parameters of a spec as a flat dotted-path dict."""
+    """The sweepable parameters of a spec as a flat dotted-path dict.
+
+    Nested spec sections recurse to arbitrary depth, so the composable
+    workload axes come out as ``workload.keys.zipf_s``,
+    ``workload.arrivals.rate`` and so on.  Tuple-valued fields (transfers,
+    phases, crashes) stay single leaves.
+    """
     flat: Dict[str, Any] = {}
     for field in dataclasses.fields(spec):
         if field.name in ("name", "description"):
             continue
         value = getattr(spec, field.name)
-        if field.name in _SWEEPABLE_CHILDREN:
-            for child_field in dataclasses.fields(value):
-                flat[f"{field.name}.{child_field.name}"] = getattr(value, child_field.name)
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            _flatten_into(flat, value, f"{field.name}.")
         else:
             flat[field.name] = value
     return flat
@@ -274,6 +428,25 @@ def _coerce_transfers(transfers: Tuple[Any, ...]) -> Tuple[TransferEvent, ...]:
                     f"invalid transfer {entry!r}: expected "
                     "(at, source, target, delta)"
                 ) from error
+    return tuple(coerced)
+
+
+def _coerce_phases(phases: Tuple[Any, ...]) -> Tuple[PhaseSpec, ...]:
+    # Overrides arriving from the CLI/JSON are plain sequences, not PhaseSpecs.
+    coerced = []
+    for entry in phases:
+        if isinstance(entry, PhaseSpec):
+            coerced.append(entry)
+            continue
+        try:
+            at, overrides = entry
+            coerced.append(
+                PhaseSpec(at=at, overrides=tuple((key, value) for key, value in overrides))
+            )
+        except (TypeError, ValueError) as error:
+            raise ConfigurationError(
+                f"invalid phase {entry!r}: expected (at, ((path, value), ...))"
+            ) from error
     return tuple(coerced)
 
 
@@ -328,6 +501,7 @@ def run_spec(spec: ScenarioSpec) -> Dict[str, Any]:
         "read_latency": _summary_dict(report.read_latency),
         "write_latency": _summary_dict(report.write_latency),
         "transfers": transfer_outcomes,
+        "workload": workload_stats(workload),
     }
     if spec.cluster.flavour == "dynamic-weighted":
         surviving = [

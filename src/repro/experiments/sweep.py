@@ -1,26 +1,37 @@
-"""Parameter sweeps: expand grids into concrete, picklable run specs.
+"""Parameter sweeps: expand grids, point lists and samples into run specs.
 
-A sweep is a cartesian product over named axes.  Axis names are scenario
-parameters — keyword arguments for function scenarios, dotted spec paths
-(``cluster.n``, ``seed``) for declarative ones.  Seed lists are just another
-axis (``{"seed": [0, 1, 2]}``), which is how the paper-style "m runs per
-configuration" replication is expressed.
+A sweep is built from named axes.  Axis names are scenario parameters —
+keyword arguments for function scenarios, dotted spec paths (``cluster.n``,
+``workload.keys.zipf_s``, ``seed``) for declarative ones.  Seed lists are
+just another axis (``{"seed": [0, 1, 2]}``), which is how the paper-style
+"m runs per configuration" replication is expressed.
+
+Three expansion modes:
+
+* :func:`expand_grid` / :meth:`Sweep.runs` — the full cartesian product;
+* :func:`expand_points` — an explicit list of parameter points (no product);
+* :meth:`Sweep.sample` — ``n`` distinct points drawn without replacement
+  from the product with a seeded RNG, for high-dimensional spaces where the
+  full grid is unaffordable.
 
 Expansion is fully deterministic: axes are ordered by name, values keep
-their given order, and every produced :class:`RunSpec` carries its
-parameters as a sorted tuple of pairs — hashable, picklable, and stable
-across processes, which the parallel executor and the JSON sinks rely on.
+their given order, sampled points come out in grid order, and every produced
+:class:`RunSpec` carries its parameters as a sorted tuple of pairs —
+hashable, picklable, and stable across processes, which the parallel
+executor and the JSON sinks rely on.
 """
 
 from __future__ import annotations
 
 import itertools
+import math
+import random
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 
-__all__ = ["RunSpec", "expand_grid"]
+__all__ = ["RunSpec", "Sweep", "expand_grid", "expand_points"]
 
 
 @dataclass(frozen=True)
@@ -43,6 +54,94 @@ class RunSpec:
         return f"{self.scenario}[{inner}]"
 
 
+def _normalise_axes(
+    grid: Optional[Mapping[str, Sequence[Any]]],
+) -> List[Tuple[str, List[Any]]]:
+    axes: List[Tuple[str, List[Any]]] = []
+    for name in sorted(grid or {}):
+        values = (grid or {})[name]
+        if isinstance(values, (str, bytes)) or not isinstance(values, Sequence):
+            raise ConfigurationError(
+                f"sweep axis {name!r} must be a list/tuple of values, got {values!r}"
+            )
+        if not values:
+            raise ConfigurationError(f"sweep axis {name!r} has no values")
+        axes.append((name, list(values)))
+    return axes
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """A scenario plus normalised axes and fixed base parameters.
+
+    Construct with :meth:`Sweep.of`; then :meth:`runs` expands the full
+    cartesian grid and :meth:`sample` draws ``n`` distinct points from it.
+    """
+
+    scenario: str
+    axes: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
+    base: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def of(
+        cls,
+        scenario: str,
+        grid: Optional[Mapping[str, Sequence[Any]]] = None,
+        base: Optional[Mapping[str, Any]] = None,
+    ) -> "Sweep":
+        axes = _normalise_axes(grid)
+        fixed = dict(base or {})
+        for name, _ in axes:
+            fixed.pop(name, None)  # a grid axis with the same name wins
+        return cls(
+            scenario=scenario,
+            axes=tuple((name, tuple(values)) for name, values in axes),
+            base=tuple(sorted(fixed.items())),
+        )
+
+    @property
+    def size(self) -> int:
+        """Number of points in the full cartesian grid (1 with no axes)."""
+        return math.prod(len(values) for _, values in self.axes)
+
+    def _point(self, index: int) -> Dict[str, Any]:
+        """Decode grid point ``index`` (last axis varies fastest, as in runs())."""
+        params = dict(self.base)
+        for name, values in reversed(self.axes):
+            index, offset = divmod(index, len(values))
+            params[name] = values[offset]
+        return params
+
+    def _run(self, params: Mapping[str, Any]) -> RunSpec:
+        return RunSpec(scenario=self.scenario, params=tuple(sorted(params.items())))
+
+    def runs(self) -> List[RunSpec]:
+        """The full cartesian grid, in deterministic axis-sorted order."""
+        result: List[RunSpec] = []
+        for combo in itertools.product(*(values for _, values in self.axes)):
+            params = dict(self.base)
+            params.update({name: value for (name, _), value in zip(self.axes, combo)})
+            result.append(self._run(params))
+        return result
+
+    def sample(self, n: int, seed: int = 0) -> List[RunSpec]:
+        """``n`` distinct grid points, drawn without replacement with ``seed``.
+
+        The chosen points are returned in grid order (so serial and parallel
+        executions line up run-for-run); ``n >= size`` degenerates to the
+        full grid.  The grid itself is never materialised — points are
+        decoded from sampled indices — so huge spaces sample cheaply.
+        """
+        if n < 1:
+            raise ConfigurationError(f"sample size must be at least 1, got {n}")
+        total = self.size
+        if n >= total:
+            return self.runs()
+        rng = random.Random(seed)
+        indices = sorted(rng.sample(range(total), n))
+        return [self._run(self._point(index)) for index in indices]
+
+
 def expand_grid(
     scenario: str,
     grid: Optional[Mapping[str, Sequence[Any]]] = None,
@@ -54,22 +153,29 @@ def expand_grid(
     across the whole sweep (a grid axis with the same name wins).  With no
     grid at all the result is the single run described by ``base``.
     """
-    fixed = dict(base or {})
-    axes: List[Tuple[str, List[Any]]] = []
-    for name in sorted(grid or {}):
-        values = (grid or {})[name]
-        if isinstance(values, (str, bytes)) or not isinstance(values, Sequence):
-            raise ConfigurationError(
-                f"sweep axis {name!r} must be a list/tuple of values, got {values!r}"
-            )
-        if not values:
-            raise ConfigurationError(f"sweep axis {name!r} has no values")
-        axes.append((name, list(values)))
-        fixed.pop(name, None)
+    return Sweep.of(scenario, grid=grid, base=base).runs()
 
+
+def expand_points(
+    scenario: str,
+    points: Sequence[Mapping[str, Any]],
+    base: Optional[Mapping[str, Any]] = None,
+) -> List[RunSpec]:
+    """One run per explicit parameter point (no cartesian product).
+
+    Each point is a mapping layered over ``base``; points keep their given
+    order.  This is the escape hatch for non-rectangular sweeps (e.g. the
+    paper's hand-picked configurations).
+    """
     runs: List[RunSpec] = []
-    for combo in itertools.product(*(values for _, values in axes)):
-        params = dict(fixed)
-        params.update({name: value for (name, _), value in zip(axes, combo)})
+    for point in points:
+        if not isinstance(point, Mapping):
+            raise ConfigurationError(
+                f"sweep point must be a mapping of parameters, got {point!r}"
+            )
+        params = dict(base or {})
+        params.update(point)
         runs.append(RunSpec(scenario=scenario, params=tuple(sorted(params.items()))))
+    if not runs:
+        raise ConfigurationError("expand_points needs at least one point")
     return runs

@@ -56,6 +56,11 @@ def run_workload(
     within one client stay sequential, matching the paper's "processes are
     sequential" model).  Crash events from ``failures`` are armed before the
     run starts.
+
+    Operations carrying an absolute ``issue_at`` are driven open-loop: the
+    client sleeps until that virtual time (measured from the run's start) and
+    issues immediately if it is already late — arrival times do not stretch
+    when the store slows down, only queueing delay does.
     """
     if max_time is not None and max_time <= 0:
         raise ConfigurationError(f"max_time must be positive, got {max_time}")
@@ -71,7 +76,11 @@ def run_workload(
     async def run_client(client_pid: ProcessId) -> None:
         client = cluster.clients[client_pid]
         for operation in workload.for_client(client_pid):
-            if operation.issue_after > 0:
+            if operation.issue_at is not None:
+                delay = started_at + operation.issue_at - cluster.loop.now
+                if delay > 0:
+                    await cluster.loop.sleep(delay)
+            elif operation.issue_after > 0:
                 await cluster.loop.sleep(operation.issue_after)
             if operation.kind == "read":
                 await client.read()

@@ -1,10 +1,23 @@
-"""Seeded read/write workload generation."""
+"""Seeded read/write workload generation.
+
+:class:`Operation` supports two timing models: closed-loop (``issue_after``,
+a think time relative to the previous operation's completion) and open-loop
+(``issue_at``, an absolute virtual time that does not bend when the system
+slows down).  ``key`` names the logical datum an operation touches; the
+single-register stores treat it as workload metadata (popularity skew shapes
+*when* operations contend, not *where* they land), while keyed backends can
+route on it directly.
+
+:func:`uniform_workload` is the original closed-loop uniform mix; richer
+composable generators (zipfian keys, Poisson arrivals, phases, traces) live
+in :mod:`repro.workloads`.
+"""
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.types import ProcessId, VirtualTime
@@ -14,34 +27,58 @@ __all__ = ["Operation", "Workload", "uniform_workload"]
 
 @dataclass(frozen=True)
 class Operation:
-    """One client operation: a read, or a write of ``value``."""
+    """One client operation: a read, or a write of ``value``.
+
+    Exactly one timing field is meaningful: with ``issue_at`` set the
+    operation is open-loop (issue at that absolute virtual time, or
+    immediately if the client is already past it); otherwise ``issue_after``
+    is a closed-loop think time relative to the previous operation.
+    """
 
     client: ProcessId
     kind: str  # "read" | "write"
     value: Optional[str]
-    issue_after: VirtualTime  # think time before issuing, relative to the previous op
+    issue_after: VirtualTime = 0.0  # think time relative to the previous op
+    key: Optional[str] = None  # logical datum touched (workload metadata)
+    issue_at: Optional[VirtualTime] = None  # absolute issue time (open-loop)
 
 
 @dataclass
 class Workload:
-    """A per-client sequence of operations (clients run their sequences concurrently)."""
+    """A per-client sequence of operations (clients run their sequences concurrently).
+
+    Per-client access goes through a single-pass index built lazily on first
+    use and refreshed when the operation count changes, so ``for_client`` /
+    ``clients`` stay O(total operations) overall instead of re-scanning the
+    whole list once per client.
+    """
 
     operations: List[Operation] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        self._index: Optional[Dict[ProcessId, List[Operation]]] = None
+        self._indexed_count = -1
+
+    def _by_client(self) -> Dict[ProcessId, List[Operation]]:
+        if self._index is None or self._indexed_count != len(self.operations):
+            index: Dict[ProcessId, List[Operation]] = {}
+            for op in self.operations:
+                index.setdefault(op.client, []).append(op)
+            self._index = index
+            self._indexed_count = len(self.operations)
+        return self._index
+
     def for_client(self, client: ProcessId) -> List[Operation]:
-        return [op for op in self.operations if op.client == client]
+        return list(self._by_client().get(client, ()))
 
     def clients(self) -> Sequence[ProcessId]:
-        seen = []
-        for op in self.operations:
-            if op.client not in seen:
-                seen.append(op.client)
-        return tuple(seen)
+        # dict preserves insertion order, so clients come out in first-seen order.
+        return tuple(self._by_client())
 
     def counts(self) -> dict:
         reads = sum(1 for op in self.operations if op.kind == "read")
-        writes = len(self.operations) - reads
-        return {"reads": reads, "writes": writes, "total": len(self.operations)}
+        return {"reads": reads, "writes": len(self.operations) - reads,
+                "total": len(self.operations)}
 
 
 def uniform_workload(

@@ -1,0 +1,64 @@
+"""Composable workload generation.
+
+Workloads are assembled from four independent axes, each swappable without
+touching the others:
+
+* :mod:`repro.workloads.keys` — key-popularity distributions (uniform,
+  zipfian, hotspot with rotation);
+* :mod:`repro.workloads.arrivals` — arrival processes (closed-loop think
+  time, open-loop Poisson, bursty on/off);
+* :mod:`repro.workloads.mix` — operation mixes (read ratio, multi-key
+  fan-out);
+* :mod:`repro.workloads.phases` — phase schedules flipping any axis at a
+  virtual time (ramp-ups, mid-run skew shifts).
+
+:class:`~repro.workloads.generator.WorkloadGenerator` combines them into a
+deterministic :class:`~repro.sim.workload.Workload`;
+:func:`~repro.workloads.stats.workload_stats` reports the *achieved*
+skew/arrival statistics; :mod:`repro.workloads.trace` records and replays
+workloads as JSONL.  The declarative experiment layer
+(:class:`repro.experiments.WorkloadSpec`) exposes every axis as sweepable
+dotted paths (``workload.keys.zipf_s``, ``workload.arrivals.rate`` ...).
+"""
+
+from repro.workloads.arrivals import (
+    ArrivalProcess,
+    ClosedLoopArrivals,
+    OnOffArrivals,
+    PoissonArrivals,
+)
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.keys import (
+    HotspotKeys,
+    KeyDistribution,
+    UniformKeys,
+    ZipfianKeys,
+    key_name,
+)
+from repro.workloads.mix import OperationMix
+from repro.workloads.phases import Phase, PhaseSchedule
+from repro.workloads.stats import workload_stats
+from repro.workloads.trace import read_trace, write_trace
+
+__all__ = [
+    # keys
+    "KeyDistribution",
+    "UniformKeys",
+    "ZipfianKeys",
+    "HotspotKeys",
+    "key_name",
+    # arrivals
+    "ArrivalProcess",
+    "ClosedLoopArrivals",
+    "PoissonArrivals",
+    "OnOffArrivals",
+    # mix + phases
+    "OperationMix",
+    "Phase",
+    "PhaseSchedule",
+    # generator + stats + trace
+    "WorkloadGenerator",
+    "workload_stats",
+    "write_trace",
+    "read_trace",
+]

@@ -1,0 +1,149 @@
+"""Arrival processes: when operations are issued.
+
+An :class:`ArrivalProcess` produces one timing event per logical operation
+through :meth:`ArrivalProcess.next_event`, which returns an
+``(issue_after, issue_at)`` pair — exactly the two timing fields of
+:class:`repro.sim.workload.Operation`:
+
+* **closed-loop** processes return ``(think, None)``: the client waits
+  ``think`` after its previous operation *completes* before issuing the next
+  (the classical think-time model, self-throttling under load);
+* **open-loop** processes return ``(0.0, at)`` with an *absolute* virtual
+  time: the client issues at ``at`` regardless of how long earlier
+  operations took — the arrival rate does not bend when the system slows
+  down, which is what saturates a store the way real user traffic does.
+
+The generator advances its per-client clock from the returned pair, so
+phase schedules can switch a client between processes mid-stream.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.types import VirtualTime
+
+__all__ = [
+    "ArrivalProcess",
+    "ClosedLoopArrivals",
+    "PoissonArrivals",
+    "OnOffArrivals",
+]
+
+
+class ArrivalProcess:
+    """Base class: per-operation timing events over a per-client clock."""
+
+    #: True when the process schedules absolute issue times.
+    open_loop: bool = False
+
+    def next_event(
+        self, rng: random.Random, now: VirtualTime
+    ) -> Tuple[VirtualTime, Optional[VirtualTime]]:
+        """Timing of the next operation given the client clock ``now``.
+
+        Returns ``(issue_after, issue_at)``; closed-loop processes set
+        ``issue_at`` to ``None``, open-loop processes return ``issue_after``
+        of ``0.0`` and an absolute ``issue_at >= now``.
+        """
+        raise NotImplementedError
+
+    def describe(self) -> Dict[str, Any]:
+        """The process's kind and parameters, JSON-serialisable."""
+        raise NotImplementedError
+
+
+class ClosedLoopArrivals(ArrivalProcess):
+    """Exponential think times relative to operation completion."""
+
+    open_loop = False
+
+    def __init__(self, mean_think_time: VirtualTime = 1.0) -> None:
+        if mean_think_time < 0:
+            raise ConfigurationError(
+                f"mean_think_time must be non-negative, got {mean_think_time}"
+            )
+        self.mean_think_time = mean_think_time
+
+    def next_event(
+        self, rng: random.Random, now: VirtualTime
+    ) -> Tuple[VirtualTime, Optional[VirtualTime]]:
+        if self.mean_think_time <= 0:
+            return 0.0, None
+        return rng.expovariate(1.0 / self.mean_think_time), None
+
+    def describe(self) -> Dict[str, Any]:
+        return {"kind": "closed", "mean_think_time": self.mean_think_time}
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Open-loop Poisson arrivals at ``rate`` operations per virtual time unit."""
+
+    open_loop = True
+
+    def __init__(self, rate: float = 1.0) -> None:
+        if rate <= 0:
+            raise ConfigurationError(f"arrival rate must be positive, got {rate}")
+        self.rate = rate
+
+    def next_event(
+        self, rng: random.Random, now: VirtualTime
+    ) -> Tuple[VirtualTime, Optional[VirtualTime]]:
+        return 0.0, now + rng.expovariate(self.rate)
+
+    def describe(self) -> Dict[str, Any]:
+        return {"kind": "poisson", "rate": self.rate}
+
+
+class OnOffArrivals(ArrivalProcess):
+    """Bursty open-loop arrivals: Poisson bursts separated by idle gaps.
+
+    Time is divided into cycles of ``burst_length + idle_time``; within the
+    first ``burst_length`` of each cycle, arrivals are Poisson at
+    ``burst_rate``; the idle remainder produces none.  A draw that overshoots
+    the current burst is re-drawn inside the next one, so every arrival lands
+    inside an on-window.
+    """
+
+    open_loop = True
+
+    def __init__(
+        self,
+        burst_rate: float = 4.0,
+        burst_length: VirtualTime = 5.0,
+        idle_time: VirtualTime = 10.0,
+    ) -> None:
+        if burst_rate <= 0:
+            raise ConfigurationError(f"burst_rate must be positive, got {burst_rate}")
+        if burst_length <= 0:
+            raise ConfigurationError(f"burst_length must be positive, got {burst_length}")
+        if idle_time < 0:
+            raise ConfigurationError(f"idle_time must be non-negative, got {idle_time}")
+        self.burst_rate = burst_rate
+        self.burst_length = burst_length
+        self.idle_time = idle_time
+
+    def next_event(
+        self, rng: random.Random, now: VirtualTime
+    ) -> Tuple[VirtualTime, Optional[VirtualTime]]:
+        cycle = self.burst_length + self.idle_time
+        t = now
+        while True:
+            position = t % cycle
+            if position >= self.burst_length:
+                t += cycle - position  # skip the idle remainder of this cycle
+                continue
+            gap = rng.expovariate(self.burst_rate)
+            if position + gap < self.burst_length:
+                return 0.0, t + gap
+            t += self.burst_length - position  # burst exhausted; try the next one
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "kind": "onoff",
+            "burst_rate": self.burst_rate,
+            "burst_length": self.burst_length,
+            "idle_time": self.idle_time,
+        }

@@ -1,0 +1,116 @@
+"""The composable workload generator.
+
+A :class:`WorkloadGenerator` assembles the independent axes — key
+popularity, arrival process, operation mix, phase schedule — into a
+:class:`~repro.sim.workload.Workload` the simulation runner executes.
+
+Determinism contract: each client draws from its own
+``random.Random(f"{seed}/{client}")`` stream (string seeding hashes through
+SHA-512, stable across interpreters and processes), so a client's operation
+sequence depends only on the seed, the client's name and the axes — not on
+how many other clients exist or in which order they are listed.  The one
+exception is the first-listed client's first operation, whose *kind* is
+forced to a write (the draw is still consumed, so the rest of the stream is
+unaffected).  Per operation the draw order is fixed: timing, then kind,
+then keys.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.workload import Operation, Workload
+from repro.types import ProcessId
+from repro.workloads.arrivals import ArrivalProcess, ClosedLoopArrivals
+from repro.workloads.keys import KeyDistribution, UniformKeys
+from repro.workloads.mix import OperationMix
+from repro.workloads.phases import Phase, PhaseSchedule
+
+__all__ = ["WorkloadGenerator"]
+
+
+class WorkloadGenerator:
+    """Composable generator: keys x arrivals x mix x phases -> Workload."""
+
+    def __init__(
+        self,
+        keys: Optional[KeyDistribution] = None,
+        arrivals: Optional[ArrivalProcess] = None,
+        mix: Optional[OperationMix] = None,
+        phases: Sequence[Phase] = (),
+    ) -> None:
+        self.schedule = PhaseSchedule(
+            keys=keys if keys is not None else UniformKeys(),
+            arrivals=arrivals if arrivals is not None else ClosedLoopArrivals(),
+            mix=mix if mix is not None else OperationMix(),
+            phases=tuple(phases),
+        )
+
+    def generate(
+        self,
+        clients: Sequence[ProcessId],
+        operations_per_client: int,
+        seed: int = 0,
+    ) -> Workload:
+        """Generate ``operations_per_client`` logical operations per client.
+
+        A logical operation touching ``keys_per_op`` keys expands into that
+        many physical :class:`Operation` records (same kind, arrival timing
+        on the first, zero delay on the rest).  The first operation of the
+        first client is always a write, so reads never observe the
+        "unwritten" initial value.
+        """
+        if not clients:
+            raise ConfigurationError("need at least one client")
+        if operations_per_client < 1:
+            raise ConfigurationError("need at least one operation per client")
+        operations: List[Operation] = []
+        for client_index, client in enumerate(clients):
+            rng = random.Random(f"{seed}/{client}")
+            now = 0.0
+            value_counter = 0
+            for op_index in range(operations_per_client):
+                # The arrival process is chosen at the current clock; keys and
+                # mix are re-resolved at the issue time, so a phase boundary
+                # flips them on exactly the first operation issued past it.
+                _, arrivals, _ = self.schedule.axes_at(now)
+                issue_after, issue_at = arrivals.next_event(rng, now)
+                now = issue_at if issue_at is not None else now + issue_after
+                keys, _, mix = self.schedule.axes_at(now)
+                # Always consume the kind draw, so a client's stream does not
+                # depend on whether it happens to be listed first.
+                kind = mix.sample_kind(rng)
+                if client_index == 0 and op_index == 0:
+                    kind = "write"
+                batch = tuple(keys.sample(rng) for _ in range(mix.keys_per_op))
+                for batch_index, key in enumerate(batch):
+                    if kind == "write":
+                        value_counter += 1
+                        value: Optional[str] = f"value-{client}-{value_counter}"
+                    else:
+                        value = None
+                    first = batch_index == 0
+                    operations.append(
+                        Operation(
+                            client=client,
+                            kind=kind,
+                            value=value,
+                            issue_after=issue_after if first else 0.0,
+                            key=key,
+                            issue_at=issue_at if first else None,
+                        )
+                    )
+        return Workload(operations=operations)
+
+    def describe(self) -> dict:
+        """The configured axes (base phase), JSON-serialisable."""
+        base = self.schedule.base
+        assert base.keys is not None and base.arrivals is not None and base.mix is not None
+        return {
+            "keys": base.keys.describe(),
+            "arrivals": base.arrivals.describe(),
+            "mix": base.mix.describe(),
+            "phases": len(self.schedule.phases),
+        }

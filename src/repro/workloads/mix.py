@@ -1,0 +1,37 @@
+"""Operation mixes: what each logical operation does.
+
+An :class:`OperationMix` decides the read/write split and how many keys one
+logical operation touches.  With ``keys_per_op > 1`` each logical arrival
+fans out into that many back-to-back physical operations of the same kind
+(the multi-key-transaction approximation over a sequential client), all
+carrying the arrival's timing on the first operation and zero delay on the
+rest.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict
+
+from repro.errors import ConfigurationError
+
+__all__ = ["OperationMix"]
+
+
+class OperationMix:
+    """Read/write ratio plus the multi-key fan-out of one logical operation."""
+
+    def __init__(self, read_ratio: float = 0.5, keys_per_op: int = 1) -> None:
+        if not 0.0 <= read_ratio <= 1.0:
+            raise ConfigurationError(f"read_ratio must be within [0, 1], got {read_ratio}")
+        if keys_per_op < 1:
+            raise ConfigurationError(f"keys_per_op must be at least 1, got {keys_per_op}")
+        self.read_ratio = read_ratio
+        self.keys_per_op = keys_per_op
+
+    def sample_kind(self, rng: random.Random) -> str:
+        """Draw ``"read"`` or ``"write"``, consuming one ``rng.random()``."""
+        return "read" if rng.random() < self.read_ratio else "write"
+
+    def describe(self) -> Dict[str, Any]:
+        return {"read_ratio": self.read_ratio, "keys_per_op": self.keys_per_op}

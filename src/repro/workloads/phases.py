@@ -1,0 +1,71 @@
+"""Phase schedules: time-varying workload axes.
+
+A :class:`Phase` swaps any subset of the three workload axes (keys,
+arrivals, mix) from a given virtual time on; ``None`` inherits the axis that
+was active before the phase started.  A :class:`PhaseSchedule` holds the
+base axes plus the ordered phases and answers "which axes are active at time
+``t``" during generation.
+
+The generation clock the schedule is evaluated against is the per-client
+clock the generator maintains: absolute arrival time for open-loop
+processes, cumulative think time for closed-loop ones (where real issue
+times additionally include service latencies unknown at generation time —
+phases therefore flip *no later than* their nominal start under closed
+loops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.types import VirtualTime
+from repro.workloads.arrivals import ArrivalProcess
+from repro.workloads.keys import KeyDistribution
+from repro.workloads.mix import OperationMix
+
+__all__ = ["Phase", "PhaseSchedule"]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """An axis swap taking effect at ``start`` (``None`` inherits)."""
+
+    start: VirtualTime
+    keys: Optional[KeyDistribution] = None
+    arrivals: Optional[ArrivalProcess] = None
+    mix: Optional[OperationMix] = None
+
+
+class PhaseSchedule:
+    """Base axes plus ordered phases; resolves the active axes at a time."""
+
+    def __init__(
+        self,
+        keys: KeyDistribution,
+        arrivals: ArrivalProcess,
+        mix: OperationMix,
+        phases: Tuple[Phase, ...] = (),
+    ) -> None:
+        for phase in phases:
+            if phase.start < 0:
+                raise ConfigurationError(
+                    f"phase start times must be non-negative, got {phase.start}"
+                )
+        self.base = Phase(start=0.0, keys=keys, arrivals=arrivals, mix=mix)
+        self.phases = tuple(sorted(phases, key=lambda phase: phase.start))
+
+    def axes_at(
+        self, now: VirtualTime
+    ) -> Tuple[KeyDistribution, ArrivalProcess, OperationMix]:
+        """The (keys, arrivals, mix) axes active at generation clock ``now``."""
+        keys, arrivals, mix = self.base.keys, self.base.arrivals, self.base.mix
+        for phase in self.phases:
+            if phase.start > now:
+                break
+            keys = phase.keys if phase.keys is not None else keys
+            arrivals = phase.arrivals if phase.arrivals is not None else arrivals
+            mix = phase.mix if phase.mix is not None else mix
+        assert keys is not None and arrivals is not None and mix is not None
+        return keys, arrivals, mix

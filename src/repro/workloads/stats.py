@@ -1,0 +1,66 @@
+"""Statistical self-description of generated workloads.
+
+:func:`workload_stats` measures what a workload *actually* contains —
+achieved key skew, achieved arrival rate, read fraction — as opposed to
+what its generator was configured to produce.  The result is a plain
+JSON-serialisable dict, attached to every declarative run result so sweeps
+over workload parameters can report the realised distribution next to the
+latency numbers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Any, Dict, List, Optional
+
+from repro.sim.workload import Workload
+
+__all__ = ["workload_stats"]
+
+
+def _mean(values: List[float]) -> Optional[float]:
+    return sum(values) / len(values) if values else None
+
+
+def workload_stats(workload: Workload) -> Dict[str, Any]:
+    """Achieved per-axis statistics of ``workload`` (JSON-serialisable)."""
+    operations = workload.operations
+    total = len(operations)
+    reads = sum(1 for op in operations if op.kind == "read")
+    key_counts = Counter(op.key for op in operations if op.key is not None)
+    ranked = sorted(key_counts.values(), reverse=True)
+    keyed = sum(ranked)
+
+    think_times = [op.issue_after for op in operations if op.issue_at is None]
+    arrivals_by_client: Dict[str, List[float]] = defaultdict(list)
+    for op in operations:
+        if op.issue_at is not None:
+            arrivals_by_client[op.client].append(op.issue_at)
+    gaps: List[float] = []
+    makespan = 0.0
+    open_loop_ops = 0
+    for times in arrivals_by_client.values():
+        open_loop_ops += len(times)
+        makespan = max(makespan, times[-1])
+        gaps.extend(b - a for a, b in zip(times, times[1:]))
+
+    stats: Dict[str, Any] = {
+        "operations": total,
+        "clients": len(workload.clients()),
+        "reads": reads,
+        "writes": total - reads,
+        "read_fraction": reads / total if total else 0.0,
+        "keys": {
+            "distinct": len(key_counts),
+            "top1_share": ranked[0] / keyed if keyed else 0.0,
+            "top10_share": sum(ranked[:10]) / keyed if keyed else 0.0,
+        },
+        "arrivals": {
+            "open_loop_fraction": open_loop_ops / total if total else 0.0,
+            "mean_think_time": _mean(think_times),
+            "mean_interarrival": _mean(gaps),
+            # Aggregate offered load across clients; open-loop only.
+            "offered_rate": open_loop_ops / makespan if makespan > 0 else None,
+        },
+    }
+    return stats

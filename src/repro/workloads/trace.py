@@ -1,0 +1,75 @@
+"""Workload trace record / replay (JSONL).
+
+A trace is one JSON object per line, one line per operation, carrying
+exactly the fields of :class:`~repro.sim.workload.Operation`.  Floats
+round-trip exactly through ``json`` (``repr`` shortest-form), so
+``read_trace(write_trace(w)) == w`` operation-for-operation — which makes
+traces usable both as regression fixtures and as a bridge for replaying
+externally captured workloads inside the simulator.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.errors import ConfigurationError
+from repro.sim.workload import Operation, Workload
+
+__all__ = ["write_trace", "read_trace", "operation_to_record", "operation_from_record"]
+
+_FIELDS = ("client", "kind", "value", "issue_after", "key", "issue_at")
+
+
+def operation_to_record(operation: Operation) -> Dict[str, Any]:
+    """One operation as a plain JSON-serialisable dict."""
+    return {field: getattr(operation, field) for field in _FIELDS}
+
+
+def operation_from_record(record: Dict[str, Any]) -> Operation:
+    """Rebuild an operation from a trace record, validating its fields."""
+    unknown = set(record) - set(_FIELDS)
+    if unknown:
+        raise ConfigurationError(f"trace record has unknown fields: {sorted(unknown)}")
+    missing = {"client", "kind"} - set(record)
+    if missing:
+        raise ConfigurationError(f"trace record is missing fields: {sorted(missing)}")
+    if record["kind"] not in ("read", "write"):
+        raise ConfigurationError(f"trace record has invalid kind {record['kind']!r}")
+    return Operation(
+        client=record["client"],
+        kind=record["kind"],
+        value=record.get("value"),
+        issue_after=record.get("issue_after", 0.0),
+        key=record.get("key"),
+        issue_at=record.get("issue_at"),
+    )
+
+
+def write_trace(workload: Workload, path: str) -> int:
+    """Write ``workload`` to ``path`` as JSONL; returns the operation count."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for operation in workload.operations:
+            handle.write(json.dumps(operation_to_record(operation), sort_keys=True))
+            handle.write("\n")
+    return len(workload.operations)
+
+
+def read_trace(path: str) -> Workload:
+    """Load a JSONL trace written by :func:`write_trace` (or by hand)."""
+    operations: List[Operation] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ConfigurationError(
+                    f"{path}:{line_number}: malformed trace line: {error}"
+                ) from None
+            operations.append(operation_from_record(record))
+    if not operations:
+        raise ConfigurationError(f"trace {path!r} contains no operations")
+    return Workload(operations=operations)

@@ -9,13 +9,20 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.experiments import (
+    ArrivalSpec,
     ClusterSpec,
     FailureSpec,
+    KeySpec,
     LatencySpec,
+    MixSpec,
+    PhaseSpec,
     RunSpec,
     ScenarioSpec,
+    Sweep,
     TransferEvent,
     WorkloadSpec,
+    execute_stream,
+    expand_points,
     compare_payloads,
     dumps_json,
     execute_many,
@@ -103,17 +110,21 @@ class TestRegistry:
 SMALL_SPEC = ScenarioSpec(
     name="test-small",
     cluster=ClusterSpec(flavour="dynamic-weighted", n=4, f=1, client_count=1),
-    workload=WorkloadSpec(operations_per_client=3, mean_think_time=0.5),
+    workload=WorkloadSpec(
+        operations_per_client=3, arrivals=ArrivalSpec(mean_think_time=0.5)
+    ),
     latency=LatencySpec(kind="uniform", low=0.5, high=1.5),
 )
 
 
 class TestScenarioSpec:
     def test_with_overrides_replaces_nested_fields(self):
-        spec = SMALL_SPEC.with_overrides({"cluster.n": 6, "seed": 9, "workload.read_ratio": 0.9})
+        spec = SMALL_SPEC.with_overrides(
+            {"cluster.n": 6, "seed": 9, "workload.mix.read_ratio": 0.9}
+        )
         assert spec.cluster.n == 6
         assert spec.seed == 9
-        assert spec.workload.read_ratio == 0.9
+        assert spec.workload.mix.read_ratio == 0.9
         # The original is untouched (specs are frozen).
         assert SMALL_SPEC.cluster.n == 4 and SMALL_SPEC.seed == 0
 
@@ -127,6 +138,9 @@ class TestScenarioSpec:
         flat = flatten_spec(SMALL_SPEC)
         assert flat["cluster.n"] == 4
         assert flat["workload.operations_per_client"] == 3
+        assert flat["workload.keys.zipf_s"] == 1.1
+        assert flat["workload.arrivals.mean_think_time"] == 0.5
+        assert flat["workload.mix.read_ratio"] == 0.5
         assert flat["latency.kind"] == "uniform"
         assert flat["seed"] == 0
         assert "name" not in flat and "description" not in flat
@@ -154,7 +168,9 @@ class TestScenarioSpec:
         spec = ScenarioSpec(
             name="test-crash-and-transfer",
             cluster=ClusterSpec(flavour="dynamic-weighted", n=5, f=2, client_count=1),
-            workload=WorkloadSpec(operations_per_client=5, mean_think_time=2.0),
+            workload=WorkloadSpec(
+                operations_per_client=5, arrivals=ArrivalSpec(mean_think_time=2.0)
+            ),
             failures=FailureSpec(crashes=(("s5", 4.0),)),
             # Stay above the RP-Integrity bound W_{S,0}/(2(n-f)) = 5/6.
             transfers=(TransferEvent(at=2.0, source="s1", target="s2", delta=0.15),),
@@ -342,3 +358,181 @@ class TestRegisterSpec:
             assert len(result["weights"]) == 5
         finally:
             unregister("test-small")
+
+
+# ---------------------------------------------------------------------------
+# Sweep sampling and explicit points
+# ---------------------------------------------------------------------------
+
+
+class TestSweepSampling:
+    GRID = {"cluster.n": [4, 5, 6], "seed": [0, 1, 2, 3]}
+
+    def test_sample_is_deterministic_and_distinct(self):
+        sweep = Sweep.of("demo", grid=self.GRID)
+        assert sweep.size == 12
+        first = sweep.sample(5, seed=7)
+        second = sweep.sample(5, seed=7)
+        assert first == second
+        assert len(set(first)) == 5
+
+    def test_sample_is_a_subset_of_the_grid_in_grid_order(self):
+        sweep = Sweep.of("demo", grid=self.GRID)
+        full = sweep.runs()
+        sampled = sweep.sample(4, seed=1)
+        positions = [full.index(run) for run in sampled]
+        assert positions == sorted(positions)
+
+    def test_different_seeds_sample_differently(self):
+        sweep = Sweep.of("demo", grid=self.GRID)
+        assert sweep.sample(5, seed=0) != sweep.sample(5, seed=1)
+
+    def test_oversampling_degenerates_to_the_full_grid(self):
+        sweep = Sweep.of("demo", grid=self.GRID)
+        assert sweep.sample(100, seed=0) == sweep.runs()
+
+    def test_sample_keeps_base_params(self):
+        sweep = Sweep.of("demo", grid={"seed": [0, 1, 2]}, base={"cluster.n": 7})
+        for run in sweep.sample(2, seed=0):
+            assert run.params_dict["cluster.n"] == 7
+
+    def test_invalid_sample_size_rejected(self):
+        with pytest.raises(ConfigurationError, match="sample size"):
+            Sweep.of("demo", grid=self.GRID).sample(0)
+
+    def test_expand_points_layers_over_base(self):
+        runs = expand_points(
+            "demo",
+            points=[{"cluster.n": 5}, {"cluster.n": 7, "seed": 3}],
+            base={"seed": 0},
+        )
+        assert runs[0].params_dict == {"cluster.n": 5, "seed": 0}
+        assert runs[1].params_dict == {"cluster.n": 7, "seed": 3}
+
+    def test_expand_points_rejects_bad_input(self):
+        with pytest.raises(ConfigurationError, match="at least one point"):
+            expand_points("demo", points=[])
+        with pytest.raises(ConfigurationError, match="mapping"):
+            expand_points("demo", points=["cluster.n=5"])
+
+
+# ---------------------------------------------------------------------------
+# Streaming executor
+# ---------------------------------------------------------------------------
+
+
+class TestExecuteStream:
+    def _runs(self):
+        return expand_grid("quickstart", grid={"seed": [0, 1, 2]},
+                           base={"workload.operations_per_client": 2})
+
+    def test_stream_yields_every_index_once_with_progress(self):
+        runs = self._runs()
+        seen = []
+        pairs = list(execute_stream(runs, workers=1,
+                                    progress=lambda done, total: seen.append((done, total))))
+        assert sorted(index for index, _ in pairs) == [0, 1, 2]
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_parallel_stream_matches_serial_results(self):
+        runs = self._runs()
+        serial = {index: result for index, result in execute_stream(runs, workers=1)}
+        parallel = {index: result for index, result in execute_stream(runs, workers=3)}
+        assert serial == parallel
+
+    def test_execute_many_progress_callback(self):
+        seen = []
+        execute_many(self._runs(), workers=1,
+                     progress=lambda done, total: seen.append(done))
+        assert seen == [1, 2, 3]
+
+    def test_stream_invalid_worker_count_rejected(self):
+        with pytest.raises(ConfigurationError, match="workers"):
+            list(execute_stream([], workers=0))
+
+
+# ---------------------------------------------------------------------------
+# Composable workload specs inside scenarios
+# ---------------------------------------------------------------------------
+
+
+class TestWorkloadSpecIntegration:
+    def test_zipf_override_path_changes_the_workload(self):
+        spec = SMALL_SPEC.with_overrides(
+            {"workload.keys.kind": "zipfian", "workload.keys.zipf_s": 2.0}
+        )
+        assert spec.workload.keys.kind == "zipfian"
+        assert spec.workload.keys.zipf_s == 2.0
+        result = run_spec(spec)
+        assert result["operations"] == 3
+        assert result["workload"]["keys"]["distinct"] >= 1
+
+    def test_open_loop_spec_runs(self):
+        spec = SMALL_SPEC.with_overrides(
+            {"workload.arrivals.kind": "poisson", "workload.arrivals.rate": 2.0,
+             "max_time": 10_000.0}
+        )
+        result = run_spec(spec)
+        assert result["workload"]["arrivals"]["open_loop_fraction"] == 1.0
+
+    def test_phase_override_round_trips_through_cli_shapes(self):
+        # Phases arriving from JSON/CLI are plain nested lists.
+        spec = SMALL_SPEC.with_overrides(
+            {"workload.phases": [[1.0, [["mix.read_ratio", 1.0]]]]}
+        )
+        result = run_spec(spec)
+        assert result["operations"] == 3
+
+    def test_phase_override_must_target_an_axis(self):
+        spec = SMALL_SPEC.with_overrides(
+            {"workload.phases": [[1.0, [["operations_per_client", 99]]]]}
+        )
+        with pytest.raises(ConfigurationError, match="axes"):
+            run_spec(spec)
+
+    def test_phase_override_must_target_a_field_inside_an_axis(self):
+        # A bare axis name would replace the whole sub-spec with a raw value.
+        spec = SMALL_SPEC.with_overrides({"workload.phases": [[1.0, [["keys", 5]]]]})
+        with pytest.raises(ConfigurationError, match="field inside"):
+            run_spec(spec)
+
+    def test_malformed_phase_rejected(self):
+        spec = SMALL_SPEC.with_overrides({"workload.phases": [[1.0]]})
+        with pytest.raises(ConfigurationError, match="invalid phase"):
+            run_spec(spec)
+
+    def test_unknown_kinds_rejected(self):
+        with pytest.raises(ConfigurationError, match="key distribution"):
+            KeySpec(kind="bogus").build()
+        with pytest.raises(ConfigurationError, match="arrival kind"):
+            ArrivalSpec(kind="bogus").build()
+
+    def test_trace_replay_spec(self, tmp_path):
+        from repro.workloads import write_trace
+        workload = SMALL_SPEC.workload.build(("c1",), seed=0)
+        path = tmp_path / "trace.jsonl"
+        write_trace(workload, str(path))
+        spec = SMALL_SPEC.with_overrides({"workload.trace": str(path)})
+        assert run_spec(spec) == run_spec(spec)
+        assert run_spec(spec)["operations"] == 3
+
+    def test_result_carries_workload_stats(self):
+        result = run_spec(SMALL_SPEC)
+        assert result["workload"]["operations"] == 3
+        assert 0.0 <= result["workload"]["read_fraction"] <= 1.0
+
+    def test_workload_scenarios_registered(self):
+        names = scenario_names()
+        for expected in ("skewed-reassignment", "open-loop-saturation",
+                         "hotspot-shift", "hotspot-shift-monitoring"):
+            assert expected in names
+
+    def test_skewed_sweep_serial_equals_parallel(self):
+        runs = expand_grid(
+            "skewed-reassignment",
+            grid={"workload.keys.zipf_s": [0.8, 1.4]},
+            base={"workload.operations_per_client": 3},
+        )
+        serial = execute_many(runs, workers=1)
+        parallel = execute_many(runs, workers=2)
+        assert dumps_json(serial) == dumps_json(parallel)

@@ -114,3 +114,82 @@ def test_python_dash_m_repro_list_smoke():
     assert completed.returncode == 0, completed.stderr
     assert "quickstart" in completed.stdout
     assert "fig1-walkthrough" in completed.stdout
+
+
+class TestSweepSamplingCli:
+    def test_sample_runs_n_points_deterministically(self, tmp_path, capsys):
+        args = ["sweep", "quickstart", "-g", "cluster.n=4,5,6", "--seeds", "0,1,2,3",
+                "-p", "workload.operations_per_client=2", "-p", "cluster.f=1",
+                "--sample", "3", "--sample-seed", "5", "--quiet", "--no-progress"]
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        assert main([*args, "--json", str(first)]) == 0
+        assert main([*args, "--workers", "3", "--json", str(second)]) == 0
+        assert first.read_text() == second.read_text()
+        assert len(json.loads(first.read_text())) == 3
+
+    def test_point_mode_runs_explicit_points(self, tmp_path, capsys):
+        out = tmp_path / "points.json"
+        assert main(["sweep", "quickstart",
+                     "--point", "cluster.n=4 cluster.f=1",
+                     "--point", "cluster.n=5 cluster.f=2",
+                     "-p", "workload.operations_per_client=2",
+                     "--json", str(out), "--quiet", "--no-progress"]) == 0
+        payload = json.loads(out.read_text())
+        assert [entry["params"]["cluster.n"] for entry in payload] == [4, 5]
+
+    def test_point_cannot_combine_with_grid(self, capsys):
+        assert main(["sweep", "quickstart", "-g", "seed=0,1",
+                     "--point", "cluster.n=4"]) == 2
+        assert "--point" in capsys.readouterr().err
+
+
+class TestSweepStreamingCli:
+    def test_jsonl_sink_streams_and_compares_clean(self, tmp_path, capsys):
+        jsonl = tmp_path / "stream.jsonl"
+        array = tmp_path / "array.json"
+        args = ["sweep", "quickstart", "--seeds", "0,1", *FAST, "--quiet"]
+        assert main([*args, "--jsonl", str(jsonl), "--no-progress"]) == 0
+        assert main([*args, "--json", str(array), "--no-progress"]) == 0
+        lines = [line for line in jsonl.read_text().splitlines() if line.strip()]
+        assert len(lines) == 2
+        # The JSONL payload compares clean against the array payload.
+        assert main(["compare", str(jsonl), str(array)]) == 0
+
+    def test_progress_reported_per_run(self, capsys):
+        assert main(["sweep", "quickstart", "--seeds", "0,1", *FAST, "--quiet"]) == 0
+        err = capsys.readouterr().err
+        assert "[1/2]" in err and "[2/2]" in err
+
+
+class TestWorkloadScenariosCli:
+    def test_list_shows_workload_scenarios(self, capsys):
+        assert main(["list", "--tag", "workload"]) == 0
+        out = capsys.readouterr().out
+        for name in ("skewed-reassignment", "open-loop-saturation",
+                     "hotspot-shift", "hotspot-shift-monitoring"):
+            assert name in out
+
+    def test_run_skewed_reassignment_deterministically(self, tmp_path, capsys):
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        fast = ["-p", "workload.operations_per_client=3"]
+        assert main(["run", "skewed-reassignment", *fast,
+                     "--json", str(first), "--quiet"]) == 0
+        assert main(["run", "skewed-reassignment", *fast,
+                     "--json", str(second), "--quiet"]) == 0
+        assert first.read_text() == second.read_text()
+        result = json.loads(first.read_text())[0]["result"]
+        assert result["workload"]["keys"]["top1_share"] > 1.0 / 32
+
+    def test_zipf_sweep_over_workload_keys(self, tmp_path, capsys):
+        out = tmp_path / "zipf.json"
+        assert main(["sweep", "skewed-reassignment",
+                     "-g", "workload.keys.zipf_s=0.8,1.6",
+                     "-p", "workload.operations_per_client=3",
+                     "--json", str(out), "--quiet", "--no-progress"]) == 0
+        payload = json.loads(out.read_text())
+        assert len(payload) == 2
+        shares = [entry["result"]["workload"]["keys"]["top1_share"]
+                  for entry in payload]
+        assert shares[1] > shares[0]  # steeper zipf, hotter hottest key
