@@ -31,6 +31,7 @@ from repro.experiments.spec import (
     ScenarioSpec,
     TransferEvent,
     WorkloadSpec,
+    run_spec,
 )
 from repro.monitoring.controller import WeightController
 from repro.monitoring.monitor import LatencyMonitor, install_probe_responder
@@ -51,16 +52,18 @@ from repro.reassign.epoch_based import EpochBasedCoordinator, EpochBasedServer
 from repro.sim.cluster import (
     build_dynamic_cluster,
     build_reassignment_fleet,
+    build_sharded_cluster,
     build_static_cluster,
 )
 from repro.sim.metrics import summarize
 from repro.sim.runner import run_workload
+from repro.storage.sharded import shard_for_key, shard_process_name
 from repro.storage.reconfigurable import (
     ReconfigurableStorageClient,
     ReconfigurableStorageServer,
 )
 from repro.types import server_set
-from repro.workloads.arrivals import ClosedLoopArrivals
+from repro.workloads.arrivals import ClosedLoopArrivals, PoissonArrivals
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.keys import HotspotKeys
 from repro.workloads.mix import OperationMix
@@ -74,6 +77,8 @@ __all__ = [
     "storage_vs_reconfig",
     "dynamic_storage_adaptation",
     "hotspot_shift_monitoring",
+    "sharded_zipfian_imbalance",
+    "sharded_hotspot_reassignment",
 ]
 
 
@@ -92,6 +97,7 @@ FIG1_REJECTED = (("s6", "s2", 0.2), ("s7", "s3", 0.3))
     tags=("paper", "reassignment"),
 )
 def fig1_walkthrough(n: int = 7, f: int = 2) -> Dict[str, Any]:
+    """Replay the paper's Fig. 1 transfer sequence and check RP-Integrity."""
     if n < 7:
         raise ConfigurationError(
             f"fig1-walkthrough replays the paper's fixed transfer requests on "
@@ -158,6 +164,7 @@ WAN_RTT_VECTORS: Dict[str, Dict[str, float]] = {
     tags=("paper", "quorum", "analytic"),
 )
 def wmqs_vs_mqs(total_weight_per_server: float = 1.0) -> Dict[str, Any]:
+    """Expected quorum latency, majority vs weighted, on WAN RTT vectors."""
     rows = []
     for name, rtt in WAN_RTT_VECTORS.items():
         servers = tuple(sorted(rtt, key=lambda s: int(s[1:])))
@@ -273,6 +280,7 @@ def epoch_vs_epochless(
     epoch_lengths: Sequence[float] = (5.0, 20.0, 80.0),
     crash_epoch_length: float = 20.0,
 ) -> Dict[str, Any]:
+    """Compare reassignment latency and weight leakage across protocols."""
     if n < 7:
         raise ConfigurationError(
             f"epoch-vs-epochless issues its fixed transfer requests from "
@@ -349,6 +357,7 @@ def _reconfigurable_stays_live(crashes: Sequence[str]) -> bool:
     tags=("paper", "storage", "baseline"),
 )
 def storage_vs_reconfig() -> Dict[str, Any]:
+    """Liveness under crash schedules: dynamic-weighted vs reconfigurable."""
     rows = []
     for name, dynamic_crashes, reconfig_crashes in RECONFIG_SCHEDULES:
         rows.append(
@@ -446,6 +455,7 @@ def dynamic_storage_adaptation(
     operations: int = 60,
     seed: int = 11,
 ) -> Dict[str, Any]:
+    """The E6 case study: client latency before/after two servers degrade."""
     return {
         "rows": [
             _case_study_flavour(flavour, slow_at, slow_factor, operations, seed)
@@ -586,6 +596,257 @@ register_spec(
 )
 
 
+# ---------------------------------------------------------------------------
+# Key-sharded storage: load imbalance and per-shard reassignment.
+# ---------------------------------------------------------------------------
+
+
+def _install_monitoring_control(
+    loop: SimLoop,
+    network: Network,
+    servers: Dict[str, Any],
+    config: SystemConfig,
+    prober_pid: str,
+    rounds: int,
+    interval: float,
+    tolerance: float,
+    max_step: float,
+) -> List[WeightController]:
+    """Wire one probe/policy/controller loop over ``servers`` and start it.
+
+    This is the monitoring feedback loop both hotspot scenarios share: every
+    ``interval`` the prober pings the servers, the inverse-latency policy
+    turns the EWMA summary into target weights, and each server's
+    :class:`WeightController` takes one step towards them.  Returns the
+    controllers so callers can inspect the attempted transfers.
+    """
+    for server in servers.values():
+        install_probe_responder(server)
+    prober = Process(prober_pid, network)
+    monitor = LatencyMonitor(config.servers)
+    controllers = [
+        WeightController(server, tolerance=tolerance, max_step=max_step)
+        for server in servers.values()
+    ]
+
+    async def control_loop() -> None:
+        for _ in range(rounds):
+            await loop.sleep(interval)
+            await monitor.probe(prober)
+            targets = proportional_inverse_latency_weights(
+                monitor.summary(default=1.0), config
+            )
+            for controller in controllers:
+                controller.set_targets(targets)
+                await controller.step()
+
+    loop.create_task(control_loop(), name=f"monitoring-control:{prober_pid}")
+    return controllers
+
+
+@scenario(
+    "sharded-zipfian-imbalance",
+    description="Key-sharded storage under zipfian vs uniform keys at equal "
+    "op counts: skew concentrates load on few shards (hottest-shard share "
+    "well above 1/shards) while uniform keys stay near the fair share.",
+    tags=("storage", "workload", "sharding"),
+)
+def sharded_zipfian_imbalance(
+    shards: int = 4,
+    n: int = 3,
+    f: int = 1,
+    client_count: int = 3,
+    operations: int = 40,
+    space: int = 256,
+    zipf_s: float = 1.2,
+    seed: int = 17,
+) -> Dict[str, Any]:
+    """Run the same sharded deployment twice — zipfian keys, then uniform —
+    and report each run's per-shard load vector and imbalance summary."""
+    if shards < 2:
+        raise ConfigurationError(
+            f"the imbalance comparison needs at least 2 shards, got {shards}"
+        )
+    rows = []
+    for kind in ("zipfian", "uniform"):
+        spec = ScenarioSpec(
+            name=f"sharded-{kind}",
+            cluster=ClusterSpec(
+                flavour="dynamic-weighted",
+                n=n,
+                f=f,
+                client_count=client_count,
+                shards=shards,
+            ),
+            workload=WorkloadSpec(
+                operations_per_client=operations,
+                keys=KeySpec(kind=kind, space=space, zipf_s=zipf_s),
+                mix=MixSpec(read_ratio=0.6),
+            ),
+            latency=LatencySpec(kind="uniform", low=0.5, high=1.5),
+            seed=seed,
+        )
+        result = run_spec(spec)
+        imbalance = result["imbalance"]
+        rows.append(
+            {
+                "keys": kind,
+                "shard_loads": [entry["operations"] for entry in result["shards"]],
+                "hottest_shard": imbalance["hottest_shard"],
+                "hottest_share": imbalance["hottest_share"],
+                "imbalance_ratio": imbalance["imbalance_ratio"],
+                "load_variance": imbalance["load_variance"],
+                "load_cv": imbalance["load_cv"],
+                "messages": result["messages"],
+                "top1_key_share": result["workload"]["keys"]["top1_share"],
+            }
+        )
+    return {
+        "shards": shards,
+        "fair_share": 1.0 / shards,
+        "operations_per_run": operations * client_count,
+        "rows": rows,
+    }
+
+
+@scenario(
+    "sharded-hotspot-reassignment",
+    description="Per-shard reassignment state in action: when the hot set "
+    "rotates onto another shard and that shard's fast servers degrade, only "
+    "its monitoring-driven WeightControllers re-point quorums — the cold "
+    "shards keep their initial weights.",
+    tags=("storage", "monitoring", "sharding"),
+)
+def sharded_hotspot_reassignment(
+    shards: int = 2,
+    n: int = 5,
+    f: int = 1,
+    shift_at: float = 20.0,
+    slow_factor: float = 6.0,
+    operations: int = 24,
+    arrival_rate: float = 0.5,
+    probe_interval: float = 6.0,
+    control_rounds: int = 8,
+    seed: int = 3,
+) -> Dict[str, Any]:
+    """Per-shard monitoring + controllers rebalance only the slowed hot shard."""
+    if operations < 1:
+        raise ConfigurationError(f"need at least one operation, got {operations}")
+    if control_rounds < 1:
+        raise ConfigurationError(f"need at least one control round, got {control_rounds}")
+    if shards < 2:
+        raise ConfigurationError(
+            f"per-shard reassignment needs at least 2 shards, got {shards}"
+        )
+    space = 16
+    before_keys = HotspotKeys(space=space, hot_fraction=0.25, hot_weight=0.9)
+    after_keys = before_keys.shifted(8)
+
+    def hot_shard(distribution: HotspotKeys) -> int:
+        votes = [shard_for_key(key, shards) for key in distribution.hot_keys()]
+        return max(set(votes), key=votes.count)
+
+    hot_before = hot_shard(before_keys)
+    hot_after = hot_shard(after_keys)
+    # The infrastructure event is correlated with the workload shift: the two
+    # "fast" servers of the shard the hotspot lands on degrade at shift_at.
+    slowed = [shard_process_name(pid, hot_after) for pid in ("s1", "s2")]
+    # Mild jitter (+-10%): inverse-latency targets stay within the controller
+    # tolerance until the genuine slowdown kicks in, so any weight movement in
+    # the result is attributable to the infrastructure event, not noise.
+    latency = SlowdownLatency(
+        UniformLatency(0.9, 1.1, seed=seed),
+        slow=slowed,
+        factor=slow_factor,
+        start_at=shift_at,
+    )
+    cluster = build_sharded_cluster(
+        SystemConfig.uniform(n, f=f),
+        shards=shards,
+        latency=latency,
+        client_count=2,
+        flavour="dynamic-weighted",
+    )
+
+    # One independent monitoring loop per shard: its own prober, its own
+    # latency monitor, and one WeightController per shard server.  Nothing is
+    # shared across shards — exactly the per-shard reassignment state the
+    # sharded store exists to exercise.  The tolerance is wide enough that
+    # latency *jitter* never triggers a transfer — only a genuine slowdown
+    # does — so cold shards provably keep their initial weights.
+    controllers_by_shard: Dict[int, List[WeightController]] = {
+        group.index: _install_monitoring_control(
+            cluster.loop,
+            cluster.network,
+            group.servers,
+            group.config,
+            prober_pid=f"mon#{group.index}",
+            rounds=control_rounds,
+            interval=probe_interval,
+            tolerance=0.2,
+            max_step=0.3,
+        )
+        for group in cluster.shards
+    }
+
+    # Open-loop Poisson arrivals: issue times are absolute virtual times, so
+    # the phase boundary at shift_at falls where it says it does and the
+    # arrival stream does not bend when the slowed shard's latencies grow.
+    generator = WorkloadGenerator(
+        keys=before_keys,
+        arrivals=PoissonArrivals(rate=arrival_rate),
+        mix=OperationMix(read_ratio=0.6),
+        phases=(Phase(start=shift_at, keys=after_keys),),
+    )
+    workload = generator.generate(tuple(cluster.clients), operations, seed=seed)
+    report = run_workload(cluster, workload, max_time=10_000.0)
+    cluster.loop.run()  # drain trailing control rounds and broadcast echoes
+
+    # Per-shard load before/after the shift, bucketed by the operations'
+    # *generated issue times* (a client queuing behind the slowed shard may
+    # start an op later than its arrival, but where load lands was decided
+    # at generation — and every generated op completes within max_time).
+    loads_before = [0] * shards
+    loads_after = [0] * shards
+    for op in workload.operations:
+        issued_at = op.issue_at if op.issue_at is not None else 0.0
+        bucket = loads_before if issued_at < shift_at else loads_after
+        bucket[shard_for_key(op.key, shards)] += 1
+
+    shard_weights = cluster.shard_weights()
+    transfers_by_shard = {
+        index: sum(
+            1
+            for controller in controllers
+            for step in controller.reports
+            if step.attempted
+        )
+        for index, controllers in controllers_by_shard.items()
+    }
+    slowed_weight = sum(
+        shard_weights[hot_after][pid] for pid in ("s1", "s2")
+    )
+    return {
+        "operations": report.operations,
+        "duration": report.duration,
+        "messages": report.messages_sent,
+        "hot_shard_before": hot_before,
+        "hot_shard_after": hot_after,
+        "slowed_servers": slowed,
+        "shard_loads_before_shift": loads_before,
+        "shard_loads_after_shift": loads_after,
+        "imbalance": report.imbalance.as_dict() if report.imbalance else None,
+        "shard_weights": {
+            str(index): weights for index, weights in sorted(shard_weights.items())
+        },
+        "transfers_attempted_by_shard": {
+            str(index): count for index, count in sorted(transfers_by_shard.items())
+        },
+        "slowed_servers_weight": slowed_weight,
+        "workload": workload_stats(workload),
+    }
+
+
 @scenario(
     "hotspot-shift-monitoring",
     description="Monitoring-driven reassignment under a workload shift: when "
@@ -602,6 +863,7 @@ def hotspot_shift_monitoring(
     control_rounds: int = 8,
     seed: int = 3,
 ) -> Dict[str, Any]:
+    """Close the monitoring loop on a single-register hotspot shift."""
     if operations < 1:
         raise ConfigurationError(f"need at least one operation, got {operations}")
     if control_rounds < 1:
@@ -614,14 +876,17 @@ def hotspot_shift_monitoring(
         start_at=shift_at,
     )
     cluster = build_dynamic_cluster(config, latency=latency, client_count=2)
-    for server in cluster.servers.values():
-        install_probe_responder(server)
-    prober = Process("mon", cluster.network)
-    monitor = LatencyMonitor(config.servers)
-    controllers = {
-        pid: WeightController(server, tolerance=0.05, max_step=0.3)
-        for pid, server in cluster.servers.items()
-    }
+    controllers = _install_monitoring_control(
+        cluster.loop,
+        cluster.network,
+        cluster.servers,
+        config,
+        prober_pid="mon",
+        rounds=control_rounds,
+        interval=probe_interval,
+        tolerance=0.05,
+        max_step=0.3,
+    )
 
     # The workload mirrors the infrastructure event: the hot set rotates at
     # shift_at, the moment s1/s2 degrade.
@@ -635,19 +900,6 @@ def hotspot_shift_monitoring(
         ),
     )
     workload = generator.generate(tuple(cluster.clients), operations, seed=seed)
-
-    async def control_loop() -> None:
-        for _ in range(control_rounds):
-            await cluster.loop.sleep(probe_interval)
-            await monitor.probe(prober)
-            targets = proportional_inverse_latency_weights(
-                monitor.summary(default=1.0), config
-            )
-            for controller in controllers.values():
-                controller.set_targets(targets)
-                await controller.step()
-
-    cluster.loop.create_task(control_loop(), name="monitoring-control")
     report = run_workload(cluster, workload, max_time=10_000.0)
     cluster.loop.run()  # drain trailing control rounds and broadcast echoes
 
@@ -661,7 +913,7 @@ def hotspot_shift_monitoring(
         for pid, weight in sorted(cluster.servers["s3"].local_weights().items())
     }
     transfers_attempted = sum(
-        1 for controller in controllers.values()
+        1 for controller in controllers
         for step in controller.reports if step.attempted
     )
     return {

@@ -196,20 +196,48 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser (exposed for the test-suite)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run the repro experiment catalogue: registered scenarios, "
-        "parameter sweeps, and baseline comparisons.",
+        "parameter sweeps, and baseline comparisons.  Every run is "
+        "deterministic in virtual time, so results are reproducible "
+        "bit-for-bit and parallel sweeps equal serial ones.",
+        epilog="quickstart:\n"
+        "  python -m repro list\n"
+        "  python -m repro run quickstart -p cluster.n=7 -p seed=3\n"
+        "  python -m repro run quickstart -p cluster.shards=4\n"
+        "  python -m repro sweep quickstart -g cluster.shards=1,2,4 "
+        "--seeds 0,1,2 --workers 4\n"
+        "  python -m repro compare results.json benchmarks/baselines/quickstart.json\n"
+        "\n"
+        "declarative scenarios take dotted spec paths (cluster.n, "
+        "workload.keys.zipf_s, ...);\nfunction scenarios take their keyword "
+        "arguments — `list` shows each scenario's kind\nand parameters, the "
+        "README documents every dotted path.",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_list = sub.add_parser("list", help="list registered scenarios")
+    p_list = sub.add_parser(
+        "list",
+        help="list registered scenarios",
+        description="Show every registered scenario with its kind "
+        "(declarative spec vs function), tags and description; --json adds "
+        "the full parameter/default map per scenario.",
+    )
     p_list.add_argument("--tag", help="only scenarios carrying this tag")
     p_list.add_argument("--json", dest="as_json", action="store_true",
                         help="emit the catalogue as JSON")
     p_list.set_defaults(fn=_cmd_list)
 
-    p_run = sub.add_parser("run", help="execute one scenario")
+    p_run = sub.add_parser(
+        "run",
+        help="execute one scenario",
+        description="Execute one scenario and print its JSON result. "
+        "Parameters: -p cluster.n=7 (spec paths) or -p n=7 (function "
+        "kwargs); values parse as Python literals and fall back to strings.",
+    )
     p_run.add_argument("scenario", help="registered scenario name")
     p_run.add_argument("-p", "--param", action="append", default=[],
                        metavar="KEY=VALUE", help="override a scenario parameter")
@@ -218,7 +246,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--quiet", action="store_true", help="suppress stdout JSON")
     p_run.set_defaults(fn=_cmd_run)
 
-    p_sweep = sub.add_parser("sweep", help="expand and execute a parameter grid")
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="expand and execute a parameter grid",
+        description="Expand a parameter grid (-g axis=v1,v2 per axis, full "
+        "cartesian product), or --sample N seeded-random points of it, or "
+        "explicit --point lists, and execute every run — serially or across "
+        "--workers processes (results are identical either way).",
+    )
     p_sweep.add_argument("scenario", help="registered scenario name")
     p_sweep.add_argument("-g", "--grid", action="append", default=[],
                          metavar="AXIS=V1,V2,...", help="add a sweep axis")
@@ -247,7 +282,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--quiet", action="store_true", help="suppress stdout JSON")
     p_sweep.set_defaults(fn=_cmd_sweep)
 
-    p_compare = sub.add_parser("compare", help="diff a result JSON against a baseline")
+    p_compare = sub.add_parser(
+        "compare",
+        help="diff a result JSON against a baseline",
+        description="Diff two result payloads (JSON array or JSONL) "
+        "run-by-run, field-by-field; runs are matched by run_id, so "
+        "completion order does not matter.  Exit status 1 means they differ.",
+    )
     p_compare.add_argument("current", help="result JSON produced by run/sweep --json")
     p_compare.add_argument("baseline", help="baseline JSON to compare against")
     p_compare.add_argument("--rel-tol", type=float, default=1e-9,
@@ -257,6 +298,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit status (0 ok, 1 diff, 2 error)."""
     parser = build_parser()
     args = parser.parse_args(argv)
     try:

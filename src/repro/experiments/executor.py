@@ -43,6 +43,7 @@ class RunResult:
 
     @property
     def run_id(self) -> str:
+        """The stable identifier of the run that produced this result."""
         return RunSpec(self.scenario, self.params).run_id
 
 

@@ -70,6 +70,7 @@ class Scenario:
         self.defaults = dict(defaults)
 
     def execute(self, params: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
+        """Run the scenario with ``params`` layered over its defaults."""
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -102,6 +103,7 @@ class FunctionScenario(Scenario):
         self._fn = fn
 
     def execute(self, params: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
+        """Call the function with ``params`` merged over its keyword defaults."""
         merged = dict(self.defaults)
         unknown = set(params or {}) - set(self.defaults)
         if unknown:
@@ -123,6 +125,7 @@ class SpecScenario(Scenario):
         self.spec = spec
 
     def execute(self, params: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
+        """Apply ``params`` as dotted-path overrides and run the spec."""
         return run_spec(self.spec.with_overrides(params))
 
 
@@ -180,10 +183,12 @@ def get_scenario(name: str) -> Scenario:
 
 
 def scenario_names() -> List[str]:
+    """Sorted names of every registered scenario (catalogue included)."""
     _ensure_builtin()
     return sorted(_REGISTRY)
 
 
 def all_scenarios() -> List[Scenario]:
+    """Every registered scenario, sorted by name (catalogue included)."""
     _ensure_builtin()
     return [_REGISTRY[name] for name in sorted(_REGISTRY)]

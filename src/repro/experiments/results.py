@@ -52,14 +52,17 @@ def payload_entry(result: RunResult) -> Dict[str, Any]:
 
 
 def to_payload(results: Iterable[RunResult]) -> Payload:
+    """The canonical payload (one object per run) for a result collection."""
     return [payload_entry(result) for result in results]
 
 
 def dumps_json(results: Iterable[RunResult]) -> str:
+    """Serialise results as a stable (indented, key-sorted) JSON array."""
     return json.dumps(to_payload(results), indent=2, sort_keys=True)
 
 
 def write_json(results: Iterable[RunResult], path: str) -> None:
+    """Write the JSON-array payload to ``path`` (the ``--json`` sink)."""
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(dumps_json(results))
         handle.write("\n")

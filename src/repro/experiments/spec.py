@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.core.spec import SystemConfig
 from repro.errors import ConfigurationError
@@ -39,11 +39,18 @@ from repro.net.latency import (
     SlowdownLatency,
     UniformLatency,
 )
-from repro.sim.cluster import Cluster, build_dynamic_cluster, build_static_cluster
+from repro.sim.cluster import (
+    Cluster,
+    ShardedCluster,
+    build_dynamic_cluster,
+    build_sharded_cluster,
+    build_static_cluster,
+)
 from repro.sim.failures import FailureSchedule
 from repro.sim.metrics import LatencySummary
 from repro.sim.runner import run_workload
 from repro.sim.workload import Workload
+from repro.storage.sharded import expand_process_names, shard_process_name
 from repro.types import ProcessId, VirtualTime, server_set
 from repro.workloads.arrivals import (
     ArrivalProcess,
@@ -83,7 +90,10 @@ class LatencySpec:
     ``kind`` selects the model (``constant`` / ``uniform`` / ``lognormal``);
     the remaining fields parameterise it.  A non-empty ``slow`` tuple wraps
     the model in :class:`~repro.net.latency.SlowdownLatency`, degrading the
-    listed processes by ``slow_factor`` from ``slow_start`` on.
+    listed processes by ``slow_factor`` from ``slow_start`` on.  On a
+    sharded cluster a canonical name in ``slow`` (``s1``) degrades that
+    server's instance in every shard; a qualified name (``s1#2``) degrades
+    one shard's instance only.
     """
 
     kind: str = "constant"
@@ -97,7 +107,14 @@ class LatencySpec:
     slow_start: VirtualTime = 0.0
     slow_end: Optional[VirtualTime] = None
 
-    def build(self, seed: int = 0) -> LatencyModel:
+    def build(self, seed: int = 0, shards: int = 1) -> LatencyModel:
+        """Construct the configured latency model (seeded for jittery kinds).
+
+        ``shards`` resolves the ``slow`` names into the sharded namespace
+        (canonical names expand to every shard's instance) so slowdown
+        scenarios keep degrading the right processes when swept over
+        ``cluster.shards``.
+        """
         if self.kind == "constant":
             model: LatencyModel = ConstantLatency(self.value)
         elif self.kind == "uniform":
@@ -112,7 +129,7 @@ class LatencySpec:
         if self.slow:
             model = SlowdownLatency(
                 model,
-                slow=tuple(self.slow),
+                slow=expand_process_names(tuple(self.slow), shards),
                 factor=self.slow_factor,
                 start_at=self.slow_start,
                 end_at=self.slow_end,
@@ -122,19 +139,32 @@ class LatencySpec:
 
 @dataclass(frozen=True)
 class ClusterSpec:
-    """Cluster flavour, size, fault threshold and initial weights."""
+    """Cluster flavour, size, fault threshold, sharding and initial weights.
+
+    ``n``, ``f`` and ``initial_weights`` describe one replica group; with
+    ``shards > 1`` that group is the *per-shard template* and the deployment
+    runs ``shards`` independent copies of it behind a key-hash router (so a
+    sweep over ``cluster.shards`` scales the key space out without touching
+    any other axis).  ``shards`` is sweepable like every other field.
+    """
 
     flavour: str = "dynamic-weighted"
     n: int = 5
     f: Optional[int] = None
     client_count: int = 2
     initial_weights: Tuple[Tuple[ProcessId, float], ...] = ()
+    shards: int = 1
 
     def system_config(self) -> SystemConfig:
+        """Build the (per-shard) :class:`SystemConfig` this spec describes."""
         if self.flavour not in CLUSTER_FLAVOURS:
             raise ConfigurationError(
                 f"unknown cluster flavour {self.flavour!r}; "
                 f"expected one of {CLUSTER_FLAVOURS}"
+            )
+        if self.shards < 1:
+            raise ConfigurationError(
+                f"cluster.shards must be at least 1, got {self.shards}"
             )
         if not self.initial_weights:
             return SystemConfig.uniform(self.n, f=self.f)
@@ -152,7 +182,23 @@ class ClusterSpec:
             initial_weights=weights,
         )
 
-    def build(self, config: SystemConfig, latency: LatencyModel) -> Cluster:
+    def build(
+        self, config: SystemConfig, latency: LatencyModel
+    ) -> Union[Cluster, ShardedCluster]:
+        """Wire up the deployment: one register, or ``shards`` of them.
+
+        ``shards == 1`` takes the classic single-register path, so existing
+        scenarios and their checked-in baselines are bit-identical to the
+        pre-sharding behaviour.
+        """
+        if self.shards > 1:
+            return build_sharded_cluster(
+                config,
+                shards=self.shards,
+                latency=latency,
+                client_count=self.client_count,
+                flavour=self.flavour,
+            )
         if self.flavour == "dynamic-weighted":
             return build_dynamic_cluster(
                 config, latency=latency, client_count=self.client_count
@@ -182,6 +228,7 @@ class KeySpec:
     offset: int = 0
 
     def build(self) -> KeyDistribution:
+        """Construct the configured key-popularity distribution."""
         if self.kind == "uniform":
             return UniformKeys(self.space)
         if self.kind == "zipfian":
@@ -216,6 +263,7 @@ class ArrivalSpec:
     idle_time: VirtualTime = 10.0
 
     def build(self) -> ArrivalProcess:
+        """Construct the configured arrival process."""
         if self.kind == "closed":
             return ClosedLoopArrivals(self.mean_think_time)
         if self.kind == "poisson":
@@ -239,6 +287,7 @@ class MixSpec:
     keys_per_op: int = 1
 
     def build(self) -> OperationMix:
+        """Construct the configured operation mix."""
         return OperationMix(read_ratio=self.read_ratio, keys_per_op=self.keys_per_op)
 
 
@@ -288,6 +337,7 @@ class WorkloadSpec:
         )
 
     def build(self, clients: Tuple[ProcessId, ...], seed: int) -> Workload:
+        """Generate the workload for ``clients`` (or replay the ``trace``)."""
         if self.trace is not None:
             return read_trace(self.trace)
         generator = WorkloadGenerator(
@@ -303,27 +353,40 @@ class WorkloadSpec:
 
 @dataclass(frozen=True)
 class FailureSpec:
-    """Crash-stop events as ``(process, virtual_time)`` pairs."""
+    """Crash-stop events as ``(process, virtual_time)`` pairs.
+
+    On a sharded cluster a canonical process name (``s4``) crashes that
+    server's instance in every shard (the machine hosting them); a qualified
+    name (``s4#2``) crashes one shard's instance only.
+    """
 
     crashes: Tuple[Tuple[ProcessId, VirtualTime], ...] = ()
 
-    def build(self) -> Optional[FailureSchedule]:
+    def build(self, shards: int = 1) -> Optional[FailureSchedule]:
+        """Construct the crash schedule, or ``None`` when no crashes are set."""
         if not self.crashes:
             return None
         schedule = FailureSchedule()
         for process, at in self.crashes:
-            schedule.crash(process, at)
+            for pid in expand_process_names((process,), shards):
+                schedule.crash(pid, at)
         return schedule
 
 
 @dataclass(frozen=True)
 class TransferEvent:
-    """A scheduled weight transfer: at ``at``, ``source`` sends ``delta`` to ``target``."""
+    """A scheduled weight transfer: at ``at``, ``source`` sends ``delta`` to ``target``.
+
+    ``shard`` selects which replica group executes the transfer in a sharded
+    deployment (weights are per-shard state); it is ignored — and must stay
+    0 — when the cluster runs a single register.
+    """
 
     at: VirtualTime
     source: ProcessId
     target: ProcessId
     delta: float
+    shard: int = 0
 
 
 @dataclass(frozen=True)
@@ -402,16 +465,7 @@ def flatten_spec(spec: ScenarioSpec) -> Dict[str, Any]:
 
 
 def _summary_dict(summary: Optional[LatencySummary]) -> Optional[Dict[str, float]]:
-    if summary is None:
-        return None
-    return {
-        "count": summary.count,
-        "mean": summary.mean,
-        "median": summary.median,
-        "p95": summary.p95,
-        "p99": summary.p99,
-        "max": summary.maximum,
-    }
+    return None if summary is None else summary.as_dict()
 
 
 def _coerce_transfers(transfers: Tuple[Any, ...]) -> Tuple[TransferEvent, ...]:
@@ -426,7 +480,7 @@ def _coerce_transfers(transfers: Tuple[Any, ...]) -> Tuple[TransferEvent, ...]:
             except TypeError as error:
                 raise ConfigurationError(
                     f"invalid transfer {entry!r}: expected "
-                    "(at, source, target, delta)"
+                    "(at, source, target, delta[, shard])"
                 ) from error
     return tuple(coerced)
 
@@ -451,15 +505,32 @@ def _coerce_phases(phases: Tuple[Any, ...]) -> Tuple[PhaseSpec, ...]:
 
 
 def run_spec(spec: ScenarioSpec) -> Dict[str, Any]:
-    """Execute a declarative scenario and return a JSON-serialisable result."""
+    """Execute a declarative scenario and return a JSON-serialisable result.
+
+    The result always carries the latency summaries, message counts, transfer
+    outcomes and achieved workload statistics; sharded runs
+    (``cluster.shards > 1``) additionally report ``shards`` (per-shard
+    load/latency breakdown), ``imbalance`` (hottest-shard share, max/mean
+    ratio, load variance) and — for the dynamic-weighted flavour —
+    ``shard_weights`` (each shard's independently evolving weight map).
+    """
     transfers = _coerce_transfers(spec.transfers)
     if transfers and spec.cluster.flavour != "dynamic-weighted":
         raise ConfigurationError(
             "scheduled transfers require the dynamic-weighted flavour, "
             f"got {spec.cluster.flavour!r}"
         )
+    sharded = spec.cluster.shards > 1
+    for event in transfers:
+        if not 0 <= event.shard < spec.cluster.shards:
+            raise ConfigurationError(
+                f"transfer at t={event.at} targets shard {event.shard}, but the "
+                f"cluster has {spec.cluster.shards} shard(s)"
+            )
     config = spec.cluster.system_config()
-    cluster = spec.cluster.build(config, spec.latency.build(seed=spec.seed))
+    cluster = spec.cluster.build(
+        config, spec.latency.build(seed=spec.seed, shards=spec.cluster.shards)
+    )
     workload = spec.workload.build(tuple(cluster.clients), seed=spec.seed)
 
     transfer_outcomes: List[Dict[str, Any]] = []
@@ -467,17 +538,27 @@ def run_spec(spec: ScenarioSpec) -> Dict[str, Any]:
     async def fire(event: TransferEvent) -> None:
         if event.at > 0:
             await cluster.loop.sleep(event.at)
-        outcome = await cluster.servers[event.source].transfer(event.target, event.delta)
-        transfer_outcomes.append(
-            {
-                "at": event.at,
-                "source": event.source,
-                "target": event.target,
-                "delta": event.delta,
-                "effective": outcome.effective,
-                "latency": outcome.latency,
-            }
+        if sharded:
+            server = cluster.server(event.shard, event.source)
+        else:
+            server = cluster.servers[event.source]
+        # Spec-level transfers name canonical servers (s1); inside a sharded
+        # deployment the reassignment protocol addresses shard-qualified peers.
+        target = (
+            shard_process_name(event.target, event.shard) if sharded else event.target
         )
+        outcome = await server.transfer(target, event.delta)
+        entry = {
+            "at": event.at,
+            "source": event.source,
+            "target": event.target,
+            "delta": event.delta,
+            "effective": outcome.effective,
+            "latency": outcome.latency,
+        }
+        if sharded:
+            entry["shard"] = event.shard
+        transfer_outcomes.append(entry)
 
     for event in transfers:
         cluster.loop.create_task(fire(event), name=f"transfer@{event.at}")
@@ -485,7 +566,7 @@ def run_spec(spec: ScenarioSpec) -> Dict[str, Any]:
     report = run_workload(
         cluster,
         workload,
-        failures=spec.failures.build(),
+        failures=spec.failures.build(shards=spec.cluster.shards),
         max_time=spec.max_time,
     )
     cluster.loop.run()  # let trailing transfers / broadcast echoes settle
@@ -503,7 +584,16 @@ def run_spec(spec: ScenarioSpec) -> Dict[str, Any]:
         "transfers": transfer_outcomes,
         "workload": workload_stats(workload),
     }
-    if spec.cluster.flavour == "dynamic-weighted":
+    if sharded:
+        result["shards"] = [summary.as_dict() for summary in report.shards or ()]
+        if report.imbalance is not None:
+            result["imbalance"] = report.imbalance.as_dict()
+        if spec.cluster.flavour == "dynamic-weighted":
+            result["shard_weights"] = {
+                str(index): weights
+                for index, weights in sorted(cluster.shard_weights().items())
+            }
+    elif spec.cluster.flavour == "dynamic-weighted":
         surviving = [
             pid for pid in config.servers if not cluster.network.is_crashed(pid)
         ]

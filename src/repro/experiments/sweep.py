@@ -43,6 +43,7 @@ class RunSpec:
 
     @property
     def params_dict(self) -> Dict[str, Any]:
+        """The parameters as a plain dict (the form scenarios execute with)."""
         return dict(self.params)
 
     @property
@@ -89,6 +90,11 @@ class Sweep:
         grid: Optional[Mapping[str, Sequence[Any]]] = None,
         base: Optional[Mapping[str, Any]] = None,
     ) -> "Sweep":
+        """Normalise ``grid`` axes and fixed ``base`` params into a sweep.
+
+        Axes are sorted by name; a grid axis and a base parameter with the
+        same name resolve in favour of the axis (the sweep wins).
+        """
         axes = _normalise_axes(grid)
         fixed = dict(base or {})
         for name, _ in axes:

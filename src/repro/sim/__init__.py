@@ -1,39 +1,59 @@
 """Simulation and experiment harness.
 
 * :mod:`repro.sim.cluster` — wire up a loop, a network, servers and clients
-  for any of the storage variants in one call.
+  for any of the storage variants in one call; ``build_sharded_cluster``
+  scales any flavour out across key-hashed shards behind keyed clients.
 * :mod:`repro.sim.workload` — seeded read/write workload generators.
 * :mod:`repro.sim.failures` — crash and slowdown schedules.
-* :mod:`repro.sim.metrics` — latency summaries (mean, percentiles).
+* :mod:`repro.sim.metrics` — latency summaries (mean, percentiles) and
+  per-shard load/imbalance statistics.
 * :mod:`repro.sim.runner` — run a workload against a cluster and collect a
-  :class:`~repro.sim.runner.RunReport`.
+  :class:`~repro.sim.runner.RunReport` (with a per-shard breakdown when the
+  cluster is sharded).
 """
 
 from repro.sim.cluster import (
     Cluster,
     ReassignmentFleet,
+    ShardGroup,
+    ShardedCluster,
     build_dynamic_cluster,
     build_reassignment_fleet,
+    build_sharded_cluster,
     build_static_cluster,
 )
 from repro.sim.workload import Operation, Workload, uniform_workload
 from repro.sim.failures import FailureSchedule, CrashEvent
-from repro.sim.metrics import LatencySummary, summarize
+from repro.sim.metrics import (
+    ImbalanceSummary,
+    LatencySummary,
+    ShardLoadSummary,
+    imbalance_summary,
+    summarize,
+    summarize_shard_loads,
+)
 from repro.sim.runner import RunReport, run_workload
 
 __all__ = [
     "Cluster",
     "ReassignmentFleet",
+    "ShardGroup",
+    "ShardedCluster",
     "build_dynamic_cluster",
     "build_reassignment_fleet",
+    "build_sharded_cluster",
     "build_static_cluster",
     "Operation",
     "Workload",
     "uniform_workload",
     "FailureSchedule",
     "CrashEvent",
+    "ImbalanceSummary",
     "LatencySummary",
+    "ShardLoadSummary",
+    "imbalance_summary",
     "summarize",
+    "summarize_shard_loads",
     "RunReport",
     "run_workload",
 ]

@@ -1,13 +1,32 @@
-"""Latency summaries used by the runner and the benchmark harness."""
+"""Latency summaries and per-shard load statistics for the runner and benchmarks.
+
+Two families of metrics live here:
+
+* :class:`LatencySummary` / :func:`summarize` / :func:`percentile` — the
+  latency statistics every run reports, sharded or not;
+* :class:`ShardLoadSummary` / :class:`ImbalanceSummary` and their builders
+  :func:`summarize_shard_loads` / :func:`imbalance_summary` — the per-shard
+  breakdown a key-sharded run adds: how many operations each shard served,
+  its latency summaries, and how far the load distribution sits from the
+  uniform ideal (hottest-shard share, max/mean ratio, variance).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 
-__all__ = ["LatencySummary", "percentile", "summarize"]
+__all__ = [
+    "LatencySummary",
+    "percentile",
+    "summarize",
+    "ShardLoadSummary",
+    "ImbalanceSummary",
+    "summarize_shard_loads",
+    "imbalance_summary",
+]
 
 
 def percentile(samples: Sequence[float], fraction: float) -> float:
@@ -43,6 +62,17 @@ class LatencySummary:
             f"p95={self.p95:8.3f}  p99={self.p99:8.3f}  max={self.maximum:8.3f}"
         )
 
+    def as_dict(self) -> Dict[str, float]:
+        """The JSON-serialisable form every result dict uses (``max`` key)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "median": self.median,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.maximum,
+        }
+
 
 def summarize(samples: Iterable[float]) -> LatencySummary:
     """Summarise a collection of latency samples."""
@@ -57,3 +87,136 @@ def summarize(samples: Iterable[float]) -> LatencySummary:
         p99=percentile(values, 0.99),
         maximum=max(values),
     )
+
+
+# ---------------------------------------------------------------------------
+# Per-shard load statistics
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardLoadSummary:
+    """What one shard served during a run: op counts and latency summaries."""
+
+    shard: int
+    operations: int
+    reads: int
+    writes: int
+    read_latency: Optional[LatencySummary]
+    write_latency: Optional[LatencySummary]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable view (used by the declarative result dicts)."""
+        return {
+            "shard": self.shard,
+            "operations": self.operations,
+            "reads": self.reads,
+            "writes": self.writes,
+            "read_latency": self.read_latency.as_dict() if self.read_latency else None,
+            "write_latency": self.write_latency.as_dict() if self.write_latency else None,
+        }
+
+
+@dataclass(frozen=True)
+class ImbalanceSummary:
+    """How far a per-shard load distribution sits from the uniform ideal.
+
+    ``hottest_share`` is the fraction of all operations the most loaded
+    shard served; under perfectly uniform routing it approaches
+    ``1 / shards`` (the ``fair_share``), and under skewed keys it grows
+    towards the hottest key's traffic share.  ``imbalance_ratio`` is the
+    classical max/mean load factor (1.0 = perfectly balanced), and
+    ``load_variance`` / ``load_cv`` quantify the spread across shards
+    (population variance and coefficient of variation of per-shard counts).
+    """
+
+    shards: int
+    total_operations: int
+    max_load: int
+    mean_load: float
+    hottest_shard: int
+    hottest_share: float
+    fair_share: float
+    imbalance_ratio: float
+    load_variance: float
+    load_cv: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable view (used by the declarative result dicts)."""
+        return {
+            "shards": self.shards,
+            "total_operations": self.total_operations,
+            "max_load": self.max_load,
+            "mean_load": self.mean_load,
+            "hottest_shard": self.hottest_shard,
+            "hottest_share": self.hottest_share,
+            "fair_share": self.fair_share,
+            "imbalance_ratio": self.imbalance_ratio,
+            "load_variance": self.load_variance,
+            "load_cv": self.load_cv,
+        }
+
+
+def imbalance_summary(loads: Sequence[int]) -> ImbalanceSummary:
+    """Summarise a per-shard operation-count vector (index = shard id).
+
+    Zero-operation runs are legal (e.g. a workload truncated by
+    ``max_time``): every share degrades to 0 and the ratios to 1.0/0.0, so
+    callers never divide by zero.
+    """
+    if not loads:
+        raise ConfigurationError("need at least one shard to summarise")
+    shards = len(loads)
+    total = sum(loads)
+    mean = total / shards
+    max_load = max(loads)
+    hottest = max(range(shards), key=lambda index: (loads[index], -index))
+    variance = sum((load - mean) ** 2 for load in loads) / shards
+    return ImbalanceSummary(
+        shards=shards,
+        total_operations=total,
+        max_load=max_load,
+        mean_load=mean,
+        hottest_shard=hottest,
+        hottest_share=max_load / total if total else 0.0,
+        fair_share=1.0 / shards,
+        imbalance_ratio=max_load / mean if mean else 1.0,
+        load_variance=variance,
+        load_cv=(variance ** 0.5) / mean if mean else 0.0,
+    )
+
+
+def summarize_shard_loads(
+    placements: Iterable[Tuple[int, str, float]],
+    shards: int,
+) -> Tuple[Tuple[ShardLoadSummary, ...], ImbalanceSummary]:
+    """Build the per-shard breakdown from ``(shard, kind, latency)`` samples.
+
+    ``placements`` is one entry per completed operation (the runner extracts
+    them from the sharded clients' histories); shards that served nothing
+    still appear with zero counts, so load vectors across runs line up
+    index-for-index.
+    """
+    if shards < 1:
+        raise ConfigurationError(f"need at least one shard, got {shards}")
+    reads: List[List[float]] = [[] for _ in range(shards)]
+    writes: List[List[float]] = [[] for _ in range(shards)]
+    for shard, kind, latency in placements:
+        if not 0 <= shard < shards:
+            raise ConfigurationError(
+                f"operation placed on shard {shard}, but only {shards} shard(s) exist"
+            )
+        (reads if kind == "read" else writes)[shard].append(latency)
+    summaries = tuple(
+        ShardLoadSummary(
+            shard=shard,
+            operations=len(reads[shard]) + len(writes[shard]),
+            reads=len(reads[shard]),
+            writes=len(writes[shard]),
+            read_latency=summarize(reads[shard]) if reads[shard] else None,
+            write_latency=summarize(writes[shard]) if writes[shard] else None,
+        )
+        for shard in range(shards)
+    )
+    loads = [summary.operations for summary in summaries]
+    return summaries, imbalance_summary(loads)

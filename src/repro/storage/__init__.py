@@ -8,6 +8,10 @@
   static-weight WMQS storage (WHEAT-style) the dynamic variant improves on.
 * :mod:`repro.storage.reconfigurable` — a simplified reconfigurable atomic
   storage used for the Section VIII availability comparison (E8).
+* :mod:`repro.storage.sharded` — key-sharded composition: N independent
+  register instances (any of the flavours above, via a common factory)
+  behind a keyed ``read(key)``/``write(value, key)`` facade, each shard
+  carrying its own quorum weights and reassignment state.
 """
 
 from repro.storage.abd import StaticQuorumStorageServer, StaticQuorumStorageClient
@@ -15,10 +19,36 @@ from repro.storage.reconfigurable import (
     ReconfigurableStorageServer,
     ReconfigurableStorageClient,
 )
+from repro.storage.sharded import (
+    DynamicWeightedShardFactory,
+    ReconfigurableShardFactory,
+    ShardFactory,
+    ShardedRecord,
+    ShardedStore,
+    StaticQuorumShardFactory,
+    base_process_name,
+    expand_process_names,
+    shard_config,
+    shard_factory,
+    shard_for_key,
+    shard_process_name,
+)
 
 __all__ = [
     "StaticQuorumStorageServer",
     "StaticQuorumStorageClient",
     "ReconfigurableStorageServer",
     "ReconfigurableStorageClient",
+    "ShardFactory",
+    "DynamicWeightedShardFactory",
+    "StaticQuorumShardFactory",
+    "ReconfigurableShardFactory",
+    "ShardedRecord",
+    "ShardedStore",
+    "base_process_name",
+    "expand_process_names",
+    "shard_config",
+    "shard_factory",
+    "shard_for_key",
+    "shard_process_name",
 ]

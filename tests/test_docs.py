@@ -1,0 +1,61 @@
+"""The docs-consistency checks, enforced locally as well as in CI.
+
+``tools/check_docs.py`` is the CI docs job; importing it here makes `pytest`
+fail on the same problems (broken relative links, README scenario-table
+drift) before a push ever reaches CI.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+check_docs = _load_check_docs()
+
+
+def test_markdown_files_found():
+    names = {path.name for path in check_docs.markdown_files()}
+    assert "README.md" in names
+    assert "ARCHITECTURE.md" in names
+
+
+def test_markdown_links_resolve():
+    problems = []
+    for path in check_docs.markdown_files():
+        problems.extend(check_docs.check_links(path))
+    assert problems == []
+
+
+def test_readme_scenario_table_matches_registry():
+    assert check_docs.check_scenario_table() == []
+
+
+def test_link_checker_catches_broken_links(tmp_path):
+    bad = tmp_path / "bad.md"
+    bad.write_text("see [missing](does-not-exist.md) and [ok](#anchor)")
+    problems = check_docs.check_links(bad, root=tmp_path)
+    assert len(problems) == 1
+    assert "does-not-exist.md" in problems[0]
+
+
+def test_table_parser_reads_backticked_first_cells(tmp_path):
+    readme = tmp_path / "README.md"
+    readme.write_text(
+        "# x\n\n## Scenario catalogue\n\n"
+        "| scenario | what |\n|---|---|\n"
+        "| `alpha` | a |\n| `beta` | b |\n\n## Next\n\n| `gamma` | not counted |\n"
+    )
+    assert check_docs.readme_scenario_names(readme) == {"alpha", "beta"}

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Documentation consistency checks (the CI docs job).
+
+Two checks, both pure standard library:
+
+* **link check** — every relative markdown link in the repository's ``*.md``
+  files must point at an existing file or directory (external ``http(s)``/
+  ``mailto`` links and pure ``#anchor`` links are skipped);
+* **scenario-table drift check** — the ``## Scenario catalogue`` table in
+  ``README.md`` must list exactly the scenarios the registry knows, i.e. the
+  names ``python -m repro list`` prints.  A scenario added to the catalogue
+  without a README row (or a README row for a deleted scenario) fails CI.
+
+Run from anywhere::
+
+    python tools/check_docs.py
+
+Exit status 0 means the docs are consistent; 1 lists every problem found.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Set
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Inline markdown links: [text](target).  Reference-style links are not used
+# in this repository; images share the same syntax and are checked alike.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+# Rows of the scenario catalogue table: | `name` | description |
+_SCENARIO_ROW = re.compile(r"^\|\s*`([^`]+)`\s*\|")
+
+_SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def markdown_files(root: Path = REPO_ROOT) -> List[Path]:
+    """Every tracked-looking markdown file (hidden directories skipped)."""
+    files = []
+    for path in sorted(root.rglob("*.md")):
+        if any(part.startswith(".") for part in path.relative_to(root).parts):
+            continue
+        files.append(path)
+    return files
+
+
+def check_links(path: Path, root: Path = REPO_ROOT) -> List[str]:
+    """Relative-link problems in one markdown file (empty list = clean)."""
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        base = root if relative.startswith("/") else path.parent
+        resolved = (base / relative.lstrip("/")).resolve()
+        if not resolved.exists():
+            problems.append(
+                f"{path.relative_to(root)}: broken link {target!r} "
+                f"(resolved to {resolved})"
+            )
+    return problems
+
+
+def readme_scenario_names(readme: Path) -> Set[str]:
+    """The scenario names listed in README's ``## Scenario catalogue`` table."""
+    names: Set[str] = set()
+    in_catalogue = False
+    for line in readme.read_text(encoding="utf-8").splitlines():
+        if line.startswith("## "):
+            in_catalogue = line.strip() == "## Scenario catalogue"
+            continue
+        if in_catalogue:
+            match = _SCENARIO_ROW.match(line.strip())
+            if match:
+                names.add(match.group(1))
+    return names
+
+
+def registered_scenario_names() -> Set[str]:
+    """The names ``python -m repro list`` would print."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.experiments.registry import scenario_names
+
+    return set(scenario_names())
+
+
+def check_scenario_table(root: Path = REPO_ROOT) -> List[str]:
+    """Drift between README's scenario table and the registry (empty = clean)."""
+    readme = root / "README.md"
+    if not readme.exists():
+        return [f"missing {readme}"]
+    documented = readme_scenario_names(readme)
+    if not documented:
+        return ["README.md: no '## Scenario catalogue' table rows found"]
+    registered = registered_scenario_names()
+    problems = []
+    for name in sorted(registered - documented):
+        problems.append(
+            f"README.md: scenario {name!r} is registered but missing from "
+            "the '## Scenario catalogue' table"
+        )
+    for name in sorted(documented - registered):
+        problems.append(
+            f"README.md: scenario {name!r} is in the catalogue table but "
+            "not registered (run `python -m repro list`)"
+        )
+    return problems
+
+
+def main() -> int:
+    problems: List[str] = []
+    for path in markdown_files():
+        problems.extend(check_links(path))
+    problems.extend(check_scenario_table())
+    if problems:
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        print(f"{len(problems)} documentation problem(s)", file=sys.stderr)
+        return 1
+    print("docs ok: links resolve, scenario table matches the registry")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
