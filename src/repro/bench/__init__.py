@@ -1,0 +1,53 @@
+"""Continuous microbenchmarking of the simulation stack.
+
+``python -m repro bench`` runs the registered microbenchmarks (kernel
+dispatch, ABD protocol rounds, the sharded data plane, the sweep layer),
+reports events/sec, ops/sec and wall time, appends per-benchmark
+``BENCH_<name>.json`` trajectory files, and can compare against a prior
+result dump (``--compare``) or assert its deterministic counters against
+committed expectations (``--check``, the CI determinism gate).
+
+See :mod:`repro.bench.core` for the measurement contract (wall time is
+noise, counters are invariants), :mod:`repro.bench.suite` for the built-in
+benchmarks, and :mod:`repro.bench.runner` for the file formats.
+"""
+
+from repro.bench.core import (
+    BenchResult,
+    Benchmark,
+    all_benchmarks,
+    benchmark,
+    benchmark_names,
+    get_benchmark,
+    register_benchmark,
+    run_benchmark,
+)
+from repro.bench.runner import (
+    append_trajectory,
+    check_expectations,
+    compare_results,
+    expectations_payload,
+    load_results_json,
+    run_benchmarks,
+    trajectory_path,
+    write_results_json,
+)
+
+__all__ = [
+    "BenchResult",
+    "Benchmark",
+    "all_benchmarks",
+    "benchmark",
+    "benchmark_names",
+    "get_benchmark",
+    "register_benchmark",
+    "run_benchmark",
+    "run_benchmarks",
+    "trajectory_path",
+    "append_trajectory",
+    "write_results_json",
+    "load_results_json",
+    "compare_results",
+    "expectations_payload",
+    "check_expectations",
+]

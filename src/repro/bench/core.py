@@ -1,0 +1,223 @@
+"""The microbenchmark registry and measurement harness.
+
+A *microbenchmark* is a named function that performs a fixed, seeded amount
+of simulation work and reports what it did: how many kernel events it
+dispatched, how many application-level operations it completed, and any
+extra deterministic counters (messages sent, runs executed, ...).  The
+harness (:func:`run_benchmark`) times the function with ``perf_counter``
+and wraps everything into a :class:`BenchResult`.
+
+The split matters for CI: **wall time is noise, counters are not.**  Two
+invocations of the same benchmark must report byte-identical counters (the
+simulation is deterministic), so the counters double as a cheap end-to-end
+determinism check — the bench smoke job asserts them against committed
+expectations while treating the wall-clock numbers as informational only.
+
+Benchmarks support two scales: the default *full* scale, sized so that
+events/sec is a stable signal, and ``quick`` (CI) scale, sized to finish in
+well under a second.  Both are deterministic; they are simply different
+fixed workloads, so expectations are recorded per scale.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "BenchResult",
+    "Benchmark",
+    "register_benchmark",
+    "benchmark",
+    "get_benchmark",
+    "benchmark_names",
+    "all_benchmarks",
+    "run_benchmark",
+]
+
+#: A benchmark function: does the work, returns its deterministic counts.
+#: The returned mapping must contain ``events`` and ``ops`` (ints) and may
+#: contain a ``counters`` sub-mapping of additional deterministic counters.
+BenchFn = Callable[[bool], Mapping[str, Any]]
+
+_BENCHMARKS: Dict[str, "Benchmark"] = {}
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One timed benchmark execution.
+
+    ``events`` counts simulation-kernel event dispatches, ``ops``
+    application-level completed operations (awaits, storage ops, runs —
+    whatever the benchmark's unit of useful work is).  ``counters`` carries
+    additional deterministic counters; everything except ``wall_seconds``
+    must be identical across invocations.
+    """
+
+    name: str
+    quick: bool
+    repeat: int
+    wall_seconds: float
+    events: int
+    ops: int
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def ops_per_sec(self) -> float:
+        return self.ops / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def deterministic_view(self) -> Dict[str, Any]:
+        """The invariant part (what CI asserts against expectations)."""
+        return {
+            "events": self.events,
+            "ops": self.ops,
+            "counters": dict(self.counters),
+        }
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The JSON-serialisable record (trajectory files, ``--json``)."""
+        return {
+            "benchmark": self.name,
+            "quick": self.quick,
+            "repeat": self.repeat,
+            "wall_seconds": self.wall_seconds,
+            "events": self.events,
+            "events_per_sec": self.events_per_sec,
+            "ops": self.ops,
+            "ops_per_sec": self.ops_per_sec,
+            "counters": dict(self.counters),
+        }
+
+    def as_row(self) -> str:
+        return (
+            f"{self.name:<16s} wall={self.wall_seconds:8.4f}s  "
+            f"events={self.events:>9d} ({self.events_per_sec:>12,.0f}/s)  "
+            f"ops={self.ops:>8d} ({self.ops_per_sec:>12,.0f}/s)"
+        )
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """A registered microbenchmark: a name, a description, and its function."""
+
+    name: str
+    description: str
+    fn: BenchFn
+
+
+def register_benchmark(name: str, description: str, fn: BenchFn) -> Benchmark:
+    """Register a microbenchmark under ``name`` (unique)."""
+    if not name:
+        raise ConfigurationError("benchmark name must not be empty")
+    if name in _BENCHMARKS:
+        raise ConfigurationError(f"benchmark {name!r} is already registered")
+    entry = Benchmark(name=name, description=description, fn=fn)
+    _BENCHMARKS[name] = entry
+    return entry
+
+
+def benchmark(name: str, description: str = "") -> Callable[[BenchFn], BenchFn]:
+    """Decorator form of :func:`register_benchmark` (returns ``fn`` unchanged)."""
+
+    def wrap(fn: BenchFn) -> BenchFn:
+        register_benchmark(name, description or (fn.__doc__ or "").strip().splitlines()[0], fn)
+        return fn
+
+    return wrap
+
+
+def _ensure_suite() -> None:
+    """Import the built-in suite exactly once (idempotent, lazy)."""
+    import repro.bench.suite  # noqa: F401  (registers on import)
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Look a benchmark up by name, loading the built-in suite on demand."""
+    _ensure_suite()
+    try:
+        return _BENCHMARKS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown benchmark {name!r}; registered: "
+            f"{', '.join(benchmark_names()) or '(none)'}"
+        ) from None
+
+
+def benchmark_names() -> List[str]:
+    """Sorted names of every registered benchmark (suite included)."""
+    _ensure_suite()
+    return sorted(_BENCHMARKS)
+
+
+def all_benchmarks() -> List[Benchmark]:
+    """Every registered benchmark, sorted by name (suite included)."""
+    _ensure_suite()
+    return [_BENCHMARKS[name] for name in sorted(_BENCHMARKS)]
+
+
+def run_benchmark(name: str, quick: bool = False, repeat: int = 1) -> BenchResult:
+    """Execute one benchmark ``repeat`` times; report the best wall time.
+
+    The deterministic counts must agree across repeats (the simulation is
+    seeded); a mismatch raises, because it means the benchmark leaks state
+    between invocations.
+    """
+    if repeat < 1:
+        raise ConfigurationError(f"repeat must be >= 1, got {repeat}")
+    entry = get_benchmark(name)
+    best_wall: Optional[float] = None
+    reference: Optional[Dict[str, Any]] = None
+    for _ in range(repeat):
+        # Collect leftover garbage from earlier work and pause the cyclic
+        # collector for the timed section: GC pauses are wall-time noise,
+        # and a collection landing mid-measurement can tear down suspended
+        # coroutines from previous runs at an allocation-dependent moment,
+        # perturbing the event counts that are supposed to be invariant.
+        gc_was_enabled = gc.isenabled()
+        gc.collect()
+        gc.disable()
+        try:
+            started = time.perf_counter()
+            measured = dict(entry.fn(quick))
+            wall = time.perf_counter() - started
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+            gc.collect()
+        missing = {"events", "ops"} - set(measured)
+        if missing:
+            raise ConfigurationError(
+                f"benchmark {name!r} returned no {sorted(missing)} counts"
+            )
+        view = {
+            "events": int(measured["events"]),
+            "ops": int(measured["ops"]),
+            "counters": {k: int(v) for k, v in dict(measured.get("counters", {})).items()},
+        }
+        if reference is None:
+            reference = view
+        elif view != reference:
+            raise ConfigurationError(
+                f"benchmark {name!r} is non-deterministic across repeats: "
+                f"{view} != {reference}"
+            )
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+    assert reference is not None and best_wall is not None
+    return BenchResult(
+        name=name,
+        quick=quick,
+        repeat=repeat,
+        wall_seconds=best_wall,
+        events=reference["events"],
+        ops=reference["ops"],
+        counters=reference["counters"],
+    )

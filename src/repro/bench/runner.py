@@ -1,0 +1,172 @@
+"""Trajectory files, baseline comparison and CI counter checks.
+
+Each benchmark appends one record per invocation to its own trajectory file
+``BENCH_<name>.json`` — a JSON object ``{"benchmark": ..., "runs": [...]}``
+whose ``runs`` list grows over time, giving the repository a measured
+performance history (wall time and events/sec per invocation) next to the
+deterministic counters.
+
+Two consumers sit on top:
+
+* :func:`compare_results` — diff a fresh result set against a prior
+  ``--json`` dump: speedup per benchmark, plus hard counter mismatches
+  (which mean the two sides did not run the same simulation and the wall
+  numbers are not comparable).
+* :func:`check_expectations` — CI's determinism gate: assert the
+  deterministic counters of a run against the committed expectations file
+  (``benchmarks/bench_expectations.json``), per scale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.bench.core import BenchResult, run_benchmark
+from repro.errors import ConfigurationError, ReproError
+
+__all__ = [
+    "run_benchmarks",
+    "trajectory_path",
+    "append_trajectory",
+    "write_results_json",
+    "load_results_json",
+    "compare_results",
+    "check_expectations",
+    "expectations_payload",
+]
+
+
+def run_benchmarks(
+    names: Sequence[str], quick: bool = False, repeat: int = 1
+) -> List[BenchResult]:
+    """Run the named benchmarks in order and collect their results."""
+    return [run_benchmark(name, quick=quick, repeat=repeat) for name in names]
+
+
+def trajectory_path(name: str, out_dir: str = ".") -> str:
+    """The trajectory file for benchmark ``name`` under ``out_dir``."""
+    return os.path.join(out_dir, f"BENCH_{name}.json")
+
+
+def append_trajectory(result: BenchResult, out_dir: str = ".") -> str:
+    """Append one run record to the benchmark's trajectory file.
+
+    Creates the file (and ``out_dir``) on first use; returns the path.  The
+    record carries a wall-clock timestamp — trajectories are *history*, not
+    baselines, so unlike result payloads they are allowed to be
+    non-reproducible byte-for-byte.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    path = trajectory_path(result.name, out_dir)
+    payload: Dict[str, Any] = {"benchmark": result.name, "runs": []}
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            loaded = json.load(handle)
+        if not isinstance(loaded, dict) or loaded.get("benchmark") != result.name:
+            raise ConfigurationError(
+                f"{path} is not a trajectory file for benchmark {result.name!r}"
+            )
+        payload = loaded
+        payload.setdefault("runs", [])
+    record = result.as_dict()
+    record["timestamp"] = time.time()
+    payload["runs"].append(record)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def write_results_json(results: Iterable[BenchResult], path: str) -> None:
+    """Write one invocation's results as a JSON array (the ``--json`` sink)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump([result.as_dict() for result in results], handle,
+                  indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_results_json(path: str) -> List[Dict[str, Any]]:
+    """Load a ``--json`` dump (or a trajectory file, using its last run)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if isinstance(payload, dict) and "runs" in payload:
+        runs = payload["runs"]
+        if not runs:
+            raise ReproError(f"trajectory {path!r} contains no runs")
+        return [runs[-1]]
+    if not isinstance(payload, list):
+        raise ReproError(f"{path!r} is neither a bench results array nor a trajectory")
+    return payload
+
+
+def compare_results(
+    current: Sequence[BenchResult], prior: Sequence[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Compare fresh results against a prior dump, benchmark by benchmark.
+
+    Returns one row per benchmark present on both sides:
+    ``{"benchmark", "speedup", "current_wall", "prior_wall", "counters_match"}``.
+    A speedup > 1 means the current run is faster.  ``counters_match`` is
+    False when the deterministic counts differ — the two sides ran different
+    workloads (different scale or a semantic change), so the ratio is
+    labelled rather than hidden.
+    """
+    prior_by_name = {record.get("benchmark"): record for record in prior}
+    rows: List[Dict[str, Any]] = []
+    for result in current:
+        record = prior_by_name.get(result.name)
+        if record is None:
+            continue
+        prior_wall = float(record.get("wall_seconds", 0.0))
+        counters_match = (
+            result.events == record.get("events")
+            and result.ops == record.get("ops")
+            and dict(result.counters) == dict(record.get("counters", {}))
+        )
+        rows.append({
+            "benchmark": result.name,
+            "current_wall": result.wall_seconds,
+            "prior_wall": prior_wall,
+            "speedup": prior_wall / result.wall_seconds if result.wall_seconds > 0 else 0.0,
+            "counters_match": counters_match,
+        })
+    return rows
+
+
+def expectations_payload(results: Iterable[BenchResult]) -> Dict[str, Any]:
+    """The expectations-file fragment for one scale (see below for layout)."""
+    return {result.name: result.deterministic_view() for result in results}
+
+
+def check_expectations(
+    results: Sequence[BenchResult], path: str, quick: bool
+) -> List[str]:
+    """Assert deterministic counters against a committed expectations file.
+
+    The file maps scale (``"quick"`` / ``"full"``) to benchmark name to the
+    expected ``{"events", "ops", "counters"}``.  Returns human-readable
+    mismatch lines (empty = all good); unknown benchmarks are reported too,
+    so the expectations stay in lockstep with the suite.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        expectations = json.load(handle)
+    scale = "quick" if quick else "full"
+    expected: Optional[Dict[str, Any]] = expectations.get(scale)
+    if expected is None:
+        return [f"expectations file {path!r} has no {scale!r} scale"]
+    problems: List[str] = []
+    for result in results:
+        want = expected.get(result.name)
+        if want is None:
+            problems.append(f"{result.name}: no committed expectation ({scale})")
+            continue
+        got = result.deterministic_view()
+        if got != want:
+            problems.append(
+                f"{result.name}: deterministic counters diverge: "
+                f"got {got}, expected {want}"
+            )
+    return problems

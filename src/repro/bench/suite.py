@@ -1,0 +1,139 @@
+"""The built-in microbenchmark suite.
+
+Four benchmarks, one per layer of the hot path:
+
+* ``event-loop`` — pure kernel dispatch: tasks ping-ponging through
+  zero-delay sleeps and queue handoffs, no network.  This is the benchmark
+  the ready-deque fast path targets; its events/sec is the kernel's
+  dispatch throughput ceiling.
+* ``abd-round`` — protocol traffic: closed-loop read/write rounds of the
+  classical ABD register over a majority quorum system, exercising the
+  network send/deliver path, response collectors and latency summaries.
+* ``sharded-zipfian`` — the sharded data plane: a zipfian-keyed workload
+  routed across independent shard groups through the keyed facade
+  (FNV-1a routing memo, per-shard metrics).
+* ``sweep`` — the experiment layer: a small serial parameter sweep through
+  the registry/executor/result plumbing, measuring per-run orchestration
+  overhead on top of the simulation itself.
+
+Every benchmark builds its world from fixed seeds, so the reported event /
+op / message counts are bit-deterministic; only wall time varies.  Scales
+are fixed per mode (``quick`` for CI smoke, full for real measurements) —
+see :mod:`repro.bench.core` for the contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+from repro.bench.core import benchmark
+from repro.core.spec import SystemConfig
+from repro.net.latency import UniformLatency
+from repro.net.simloop import Queue, SimLoop, gather
+from repro.sim.cluster import build_sharded_cluster, build_static_cluster
+from repro.sim.runner import run_workload
+from repro.sim.workload import uniform_workload
+from repro.workloads import WorkloadGenerator, ZipfianKeys
+
+
+def _config(n: int = 5, f: int = 1) -> SystemConfig:
+    return SystemConfig(servers=tuple(f"s{i}" for i in range(1, n + 1)), f=f)
+
+
+@benchmark("event-loop", "kernel dispatch: zero-delay sleeps + queue handoffs")
+def bench_event_loop(quick: bool) -> Mapping[str, Any]:
+    tasks, iterations = (10, 200) if quick else (50, 400)
+    loop = SimLoop()
+    queue = Queue()
+
+    async def worker(index: int) -> None:
+        for i in range(iterations):
+            await loop.sleep(0)
+            queue.put(index * iterations + i)
+            await queue.get()
+
+    loop.run_until_complete(gather(loop, [worker(t) for t in range(tasks)]))
+    return {
+        "events": loop.events_processed,
+        "ops": tasks * iterations * 2,  # two awaits per iteration
+        "counters": {"tasks": tasks, "iterations": iterations},
+    }
+
+
+@benchmark("abd-round", "ABD read/write rounds over a majority quorum")
+def bench_abd_round(quick: bool) -> Mapping[str, Any]:
+    clients, ops_per_client = (2, 25) if quick else (4, 150)
+    cluster = build_static_cluster(
+        _config(), latency=UniformLatency(0.5, 1.5, seed=11), client_count=clients
+    )
+    workload = uniform_workload(
+        list(cluster.clients),
+        operations_per_client=ops_per_client,
+        read_ratio=0.5,
+        mean_think_time=0.1,
+        seed=11,
+    )
+    report = run_workload(cluster, workload)
+    return {
+        "events": cluster.loop.events_processed,
+        "ops": report.operations,
+        "counters": {"messages": cluster.network.messages_sent},
+    }
+
+
+@benchmark("sharded-zipfian", "zipfian keyed workload across shard groups")
+def bench_sharded_zipfian(quick: bool) -> Mapping[str, Any]:
+    shards, clients, ops_per_client = (2, 2, 20) if quick else (4, 4, 100)
+    cluster = build_sharded_cluster(
+        _config(),
+        shards=shards,
+        latency=UniformLatency(0.5, 1.5, seed=23),
+        client_count=clients,
+        flavour="static-majority",
+    )
+    generator = WorkloadGenerator(keys=ZipfianKeys(space=64, s=1.1))
+    workload = generator.generate(
+        list(cluster.clients), operations_per_client=ops_per_client, seed=23
+    )
+    report = run_workload(cluster, workload)
+    assert report.imbalance is not None
+    return {
+        "events": cluster.loop.events_processed,
+        "ops": report.operations,
+        "counters": {
+            "messages": cluster.network.messages_sent,
+            "hottest_shard_load": report.imbalance.max_load,
+        },
+    }
+
+
+@benchmark("sweep", "serial parameter sweep through the experiment layer")
+def bench_sweep(quick: bool) -> Mapping[str, Any]:
+    from repro.experiments.executor import execute_many
+    from repro.experiments.sweep import expand_grid
+
+    seeds = [0, 1] if quick else [0, 1, 2, 3, 4, 5]
+    # static-majority: the dynamic-weighted flavour's weight-gain refresh
+    # recursion (see ROADMAP) aborts at a stack-depth-dependent point, which
+    # would make the event count here depend on the caller's stack depth.
+    runs = expand_grid(
+        "quickstart",
+        grid={"seed": seeds},
+        base={
+            "cluster.flavour": "static-majority",
+            "transfers": (),
+            "workload.operations_per_client": 4,
+        },
+    )
+    # Each run executes on its own loop; the process-wide kernel counter
+    # meters the total dispatch work across all of them.
+    events_before = SimLoop.total_events_processed
+    results = execute_many(runs, workers=1)
+    events = SimLoop.total_events_processed - events_before
+    operations = sum(result.result["operations"] for result in results)
+    messages = sum(result.result["messages"] for result in results)
+    return {
+        "events": events,
+        "ops": operations,
+        "counters": {"runs": len(results), "messages": messages},
+    }

@@ -66,10 +66,13 @@ class ChangeSet:
     messages.
     """
 
-    __slots__ = ("_changes",)
+    __slots__ = ("_changes", "_sorted")
 
     def __init__(self, changes: Iterable[Change] = ()) -> None:
         self._changes: FrozenSet[Change] = frozenset(changes)
+        # Lazily-built canonical order; reused by every weight query so float
+        # sums are independent of set iteration order (PYTHONHASHSEED).
+        self._sorted: Optional[Tuple[Change, ...]] = None
 
     # -- set behaviour ---------------------------------------------------------
     def __contains__(self, change: Change) -> bool:
@@ -113,8 +116,15 @@ class ChangeSet:
         return ChangeSet(c for c in self._changes if c.server == server)
 
     def weight_of(self, server: ProcessId) -> Weight:
-        """``W_s`` — the sum of the deltas of the changes created for ``server``."""
-        return sum(c.delta for c in self._changes if c.server == server)
+        """``W_s`` — the sum of the deltas of the changes created for ``server``.
+
+        The sum runs over the canonical :meth:`sorted` order, not raw set
+        iteration order: float addition is order-sensitive in the last ulp,
+        and set iteration order varies with the interpreter's hash seed, so
+        summing the set directly would make the low bits of every reported
+        weight depend on ``PYTHONHASHSEED``.
+        """
+        return sum(c.delta for c in self.sorted() if c.server == server)
 
     def weights(self, servers: Optional[Iterable[ProcessId]] = None) -> Dict[ProcessId, Weight]:
         """The full weight map derived from this change set.
@@ -128,7 +138,7 @@ class ChangeSet:
         return {server: self.weight_of(server) for server in servers}
 
     def total_weight(self) -> Weight:
-        return sum(c.delta for c in self._changes)
+        return sum(c.delta for c in self.sorted())
 
     def by_author(self, author: ProcessId) -> "ChangeSet":
         """Changes issued by ``author`` (useful for completion checks)."""
@@ -148,8 +158,15 @@ class ChangeSet:
         return self._changes
 
     def sorted(self) -> Tuple[Change, ...]:
-        """Changes in a deterministic order (author, counter, server)."""
-        return tuple(sorted(self._changes))
+        """Changes in a deterministic order (author, counter, server).
+
+        Cached after the first call: reply payloads and weight queries ask
+        for this order once per message on the protocol hot path.
+        """
+        ordered = self._sorted
+        if ordered is None:
+            ordered = self._sorted = tuple(sorted(self._changes))
+        return ordered
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ChangeSet({sorted(self._changes)!r})"

@@ -123,8 +123,11 @@ async def _read_write(
                 for reply in replies
             ):
                 return True
+            # Sum in sorted order: float addition is order-sensitive and set
+            # iteration order varies per process, so an unordered sum would
+            # let the quorum test flip on last-ulp ties between runs.
             senders = {reply.sender for reply in replies}
-            weight = sum(known.weight_of(server) for server in senders)
+            weight = sum(known.weight_of(server) for server in sorted(senders))
             return strictly_greater(weight, half_total)
 
         # ----------------------------------------------------------- phase 1
@@ -214,7 +217,18 @@ class DynamicWeightedStorageServer(ReassignmentServer, _ChangeView):
 
     # -- weight-gain hook (Algorithm 4, lines 8-9) -------------------------------
     async def on_weight_gained(self, change: Change) -> None:
-        """Refresh the register with a full read before acknowledging the gain."""
+        """Refresh the register with a full read before acknowledging the gain.
+
+        Known limitation (see ROADMAP): a refresh read that discovers yet
+        another gain for this server while merging news re-enters
+        ``write_changes`` and recurses back here, so sustained transfer churn
+        towards one server grows the await chain without bound until the
+        interpreter's recursion limit aborts the handler task.  Bounding that
+        recursion (e.g. a re-entrancy guard that lets the in-flight read's
+        restart cover the nested gain) changes the refresh message pattern
+        and therefore every churn-heavy baseline; it is left for a dedicated
+        change rather than riding along with a kernel refactor.
+        """
         record = await _read_write(
             self, self.config, self, self._op_counter, value=None, is_write=False
         )

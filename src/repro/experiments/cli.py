@@ -11,6 +11,10 @@ Subcommands:
   complete instead of holding the whole sweep in memory.
 * ``compare``  — diff a result JSON/JSONL against a baseline (runs are
   matched by ``run_id``, so completion order does not matter).
+* ``bench``    — run the registered microbenchmarks (events/sec, ops/sec,
+  wall time), append ``BENCH_<name>.json`` trajectory files, ``--compare``
+  against a prior dump, or ``--check`` deterministic counters against the
+  committed expectations (the CI determinism smoke).
 
 Parameter values (``-p key=value`` and grid axis values) are parsed with
 ``ast.literal_eval`` and fall back to plain strings, so ``-p seed=3``,
@@ -175,6 +179,53 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro import bench
+
+    names = args.benchmark or bench.benchmark_names()
+    if args.list_benchmarks:
+        _print_table(
+            ["benchmark", "description"],
+            [(entry.name, entry.description) for entry in bench.all_benchmarks()],
+        )
+        return 0
+    for name in names:
+        bench.get_benchmark(name)  # fail fast with the list of known names
+    results = bench.run_benchmarks(names, quick=args.quick, repeat=args.repeat)
+    for result in results:
+        print(result.as_row())
+    if not args.no_trajectory:
+        for result in results:
+            path = bench.append_trajectory(result, args.out_dir)
+            print(f"trajectory: {path}", file=sys.stderr)
+    if args.json:
+        bench.write_results_json(results, args.json)
+    status = 0
+    if args.compare:
+        prior = bench.load_results_json(args.compare)
+        rows = bench.compare_results(results, prior)
+        if not rows:
+            print(f"no overlapping benchmarks with {args.compare}")
+        for row in rows:
+            marker = "" if row["counters_match"] else "  [COUNTERS DIVERGE]"
+            print(
+                f"{row['benchmark']:<16s} {row['speedup']:6.2f}x  "
+                f"(current {row['current_wall']:.4f}s vs prior "
+                f"{row['prior_wall']:.4f}s){marker}"
+            )
+            if not row["counters_match"]:
+                status = 1
+    if args.check:
+        problems = bench.check_expectations(results, args.check, quick=args.quick)
+        if problems:
+            for problem in problems:
+                print(f"MISMATCH: {problem}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"deterministic counters match {args.check}")
+    return status
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     diffs = compare_payloads(
         load_payload(args.current),
@@ -294,6 +345,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_compare.add_argument("--rel-tol", type=float, default=1e-9,
                            help="relative tolerance for numeric fields")
     p_compare.set_defaults(fn=_cmd_compare)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run the registered microbenchmarks",
+        description="Run the microbenchmark suite (kernel dispatch, ABD "
+        "rounds, sharded data plane, sweep layer) and report events/sec, "
+        "ops/sec and wall time.  Wall time is hardware noise; the event / "
+        "op / message counts are deterministic and double as an end-to-end "
+        "determinism check (--check).  Each run appends to per-benchmark "
+        "BENCH_<name>.json trajectory files so the performance history "
+        "stays next to the code.",
+        epilog="quickstart:\n"
+        "  python -m repro bench\n"
+        "  python -m repro bench event-loop --repeat 5\n"
+        "  python -m repro bench --json now.json   # ... later ...\n"
+        "  python -m repro bench --compare now.json\n"
+        "  python -m repro bench --quick --check benchmarks/bench_expectations.json\n",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p_bench.add_argument("benchmark", nargs="*",
+                         help="benchmarks to run (default: all registered)")
+    p_bench.add_argument("--list", dest="list_benchmarks", action="store_true",
+                         help="list registered benchmarks and exit")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="CI scale: much smaller fixed workloads")
+    p_bench.add_argument("--repeat", type=int, default=1, metavar="N",
+                         help="run each benchmark N times, report best wall time")
+    p_bench.add_argument("--out-dir", default=".", metavar="DIR",
+                         help="directory for BENCH_<name>.json trajectories "
+                         "(default: current directory)")
+    p_bench.add_argument("--no-trajectory", action="store_true",
+                         help="do not append trajectory files")
+    p_bench.add_argument("--json", metavar="PATH",
+                         help="write this invocation's results to a JSON file")
+    p_bench.add_argument("--compare", metavar="PATH",
+                         help="compare against a prior --json dump "
+                         "(exit 1 if deterministic counters diverge)")
+    p_bench.add_argument("--check", metavar="PATH",
+                         help="assert deterministic counters against an "
+                         "expectations file (exit 1 on mismatch)")
+    p_bench.set_defaults(fn=_cmd_bench)
     return parser
 
 

@@ -1,7 +1,7 @@
 """Serial and parallel execution of run specs.
 
 Every run is deterministic in *virtual* time (the simulation kernel is a
-seeded, single-threaded event heap), so fanning runs out across
+seeded, single-threaded event queue), so fanning runs out across
 ``multiprocessing`` workers changes wall-clock time only: the results are
 bit-identical to a serial execution regardless of scheduling.  That property
 is what makes the parallel executor safe to use for paper-style sweeps —
@@ -16,19 +16,33 @@ Two consumption styles:
   optional ``progress(done, total)`` after each run.  Long sweeps stream
   into chunked sinks without holding every result in memory, and the index
   lets order-sensitive consumers reassemble the input order.
+
+Worker pools are *warm*: the first parallel call forks a pool, and chained
+sweeps within the same process reuse it instead of re-forking — short
+repeated sweeps no longer pay a fork + import per call.  The pool is
+invalidated (and re-forked on next use) when the requested worker count or
+the scenario registry changes, and torn down at interpreter exit (or
+explicitly via :func:`shutdown_pool`).
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
-from repro.experiments.registry import get_scenario
+from repro.experiments.registry import get_scenario, registry_version
 from repro.experiments.sweep import RunSpec
 
-__all__ = ["RunResult", "execute_run", "execute_many", "execute_stream"]
+__all__ = [
+    "RunResult",
+    "execute_run",
+    "execute_many",
+    "execute_stream",
+    "shutdown_pool",
+]
 
 ProgressCallback = Callable[[int, int], None]
 
@@ -69,6 +83,78 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
+# The warm pool: one live Pool per process, keyed by (worker count, registry
+# version at fork time).  Chained sweeps with the same shape reuse it; the
+# active-stream refcount keeps a mid-stream pool from being torn down when a
+# differently-shaped stream starts concurrently (that stream gets a private,
+# stream-lifetime pool instead).
+_warm_pool: Optional[multiprocessing.pool.Pool] = None
+_warm_key: Optional[Tuple[int, int]] = None
+_warm_active = 0
+_atexit_registered = False
+
+
+def shutdown_pool() -> None:
+    """Tear down the warm worker pool (no-op when none is alive).
+
+    Called automatically at interpreter exit; exposed for tests and for
+    long-lived embedders that want to reclaim the workers earlier.  Any
+    execute_stream generator still consuming the pool is abandoned.
+    """
+    global _warm_pool, _warm_key, _warm_active
+    pool, _warm_pool, _warm_key, _warm_active = _warm_pool, None, None, 0
+    if pool is not None:
+        # terminate() rather than close(): an abandoned execute_stream
+        # generator may have left tasks queued that nobody will consume.
+        pool.terminate()
+        pool.join()
+
+
+def _checkout_pool(processes: int) -> Tuple[multiprocessing.pool.Pool, bool]:
+    """Return ``(pool, private)`` for one stream's lifetime.
+
+    The warm pool is reused when its key matches (several same-shape streams
+    may share it — ``imap_unordered`` jobs are independent) and re-forked
+    when it is stale *and idle*.  A stale pool with live consumers must not
+    be torn down under them, so a differently-shaped concurrent stream gets
+    a private pool that dies with the stream (``private=True``).
+    """
+    global _warm_pool, _warm_key, _warm_active, _atexit_registered
+    key = (processes, registry_version())
+    if _warm_pool is not None and _warm_key == key:
+        _warm_active += 1
+        return _warm_pool, False
+    if _warm_pool is not None and _warm_active > 0:
+        return _pool_context().Pool(processes=processes), True
+    shutdown_pool()
+    if not _atexit_registered:
+        _atexit_registered = True
+        atexit.register(shutdown_pool)
+    _warm_pool = _pool_context().Pool(processes=processes)
+    _warm_key = key
+    _warm_active = 1
+    return _warm_pool, False
+
+
+def _release_pool(
+    pool: multiprocessing.pool.Pool, private: bool, completed: bool
+) -> None:
+    global _warm_active
+    if private:
+        pool.terminate()
+        pool.join()
+        return
+    if pool is _warm_pool:
+        # (An explicit shutdown_pool() mid-stream already zeroed the count.)
+        _warm_active = max(0, _warm_active - 1)
+        if not completed and _warm_active == 0:
+            # An abandoned stream leaves queued runs nobody will consume;
+            # match the old per-call-pool semantics and cancel them rather
+            # than burning CPU in the background.  (If another stream still
+            # shares the pool we must keep it alive; its orphans drain.)
+            shutdown_pool()
+
+
 def execute_stream(
     runs: Iterable[RunSpec],
     workers: int = 1,
@@ -94,7 +180,8 @@ def execute_stream(
                 progress(done, total)
             yield index, result
         return
-    with _pool_context().Pool(processes=min(workers, total)) as pool:
+    pool, private = _checkout_pool(min(workers, total))
+    try:
         for index, result in pool.imap_unordered(
             _execute_indexed, list(enumerate(run_list))
         ):
@@ -102,6 +189,10 @@ def execute_stream(
             if progress is not None:
                 progress(done, total)
             yield index, result
+    finally:
+        # Runs on exhaustion and on generator close/GC, so the refcount (or
+        # the private pool) is released even for abandoned streams.
+        _release_pool(pool, private, completed=done == total)
 
 
 def execute_many(

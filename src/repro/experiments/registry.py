@@ -36,10 +36,23 @@ __all__ = [
     "get_scenario",
     "scenario_names",
     "all_scenarios",
+    "registry_version",
 ]
 
 _REGISTRY: Dict[str, "Scenario"] = {}
 _builtin_loaded = False
+_version = 0
+
+
+def registry_version() -> int:
+    """A counter bumped on every registration change.
+
+    The parallel executor's warm worker pool snapshots this when it forks:
+    forked workers inherit the registry as of that moment, so a pool is only
+    reused while the registry is unchanged (a runtime-registered scenario
+    must trigger a re-fork to be visible in the workers).
+    """
+    return _version
 
 
 def _ensure_builtin() -> None:
@@ -131,9 +144,11 @@ class SpecScenario(Scenario):
 
 def register(entry: Scenario, replace: bool = False) -> Scenario:
     """Add a scenario to the global registry."""
+    global _version
     if not replace and entry.name in _REGISTRY:
         raise ConfigurationError(f"scenario {entry.name!r} is already registered")
     _REGISTRY[entry.name] = entry
+    _version += 1
     return entry
 
 
@@ -148,7 +163,9 @@ def register_spec(
 
 def unregister(name: str) -> None:
     """Remove a scenario (used by tests; unknown names are ignored)."""
-    _REGISTRY.pop(name, None)
+    global _version
+    if _REGISTRY.pop(name, None) is not None:
+        _version += 1
 
 
 def scenario(

@@ -48,6 +48,10 @@ class Network:
         self._processes: Dict[ProcessId, "ProcessLike"] = {}
         self._crashed: Set[ProcessId] = set()
         self._partition_groups: List[Set[ProcessId]] = []
+        # pid -> group index, rebuilt only by partition()/heal() so the
+        # per-delivery partition check is two dict lookups, not a rebuild.
+        self._group_of: Dict[ProcessId, int] = {}
+        self._implicit_group = 0
         self._held: List[Message] = []
         # Statistics
         self.messages_sent = 0
@@ -91,25 +95,30 @@ class Network:
         Processes not listed in any group form an implicit extra group.
         """
         self._partition_groups = [set(group) for group in groups]
+        self._rebuild_partition_map()
 
     def heal(self) -> None:
         """Remove the partition and release every held message immediately."""
         self._partition_groups = []
+        self._rebuild_partition_map()
         held, self._held = self._held, []
         for message in held:
             self._schedule_delivery(message, extra_delay=0.0)
 
-    def _crosses_partition(self, sender: ProcessId, receiver: ProcessId) -> bool:
-        if not self._partition_groups:
-            return False
+    def _rebuild_partition_map(self) -> None:
         group_of: Dict[ProcessId, int] = {}
         for index, group in enumerate(self._partition_groups):
             for pid in group:
                 group_of[pid] = index
-        implicit = len(self._partition_groups)
-        sender_group = group_of.get(sender, implicit)
-        receiver_group = group_of.get(receiver, implicit)
-        return sender_group != receiver_group
+        self._group_of = group_of
+        self._implicit_group = len(self._partition_groups)
+
+    def _crosses_partition(self, sender: ProcessId, receiver: ProcessId) -> bool:
+        if not self._partition_groups:
+            return False
+        group_of = self._group_of
+        implicit = self._implicit_group
+        return group_of.get(sender, implicit) != group_of.get(receiver, implicit)
 
     # -- sending -------------------------------------------------------------
     def send(self, message: Message) -> None:
@@ -127,7 +136,9 @@ class Network:
         self._schedule_delivery(message, extra_delay=delay)
 
     def _schedule_delivery(self, message: Message, extra_delay: VirtualTime) -> None:
-        self.loop.call_later(extra_delay, lambda: self._deliver(message))
+        # Passing the message as an event argument avoids allocating one
+        # lambda closure per message on the send hot path.
+        self.loop.call_later(extra_delay, self._deliver, message)
 
     def _deliver(self, message: Message) -> None:
         if message.receiver in self._crashed:

@@ -11,11 +11,21 @@ on: two runs with the same seed and the same inputs produce exactly the same
 interleaving, the same message orderings, and the same results.  Determinism
 comes from two rules:
 
-1. every wake-up (timer expiry, future resolution, message delivery) is a
-   heap event keyed by ``(virtual_time, sequence_number)``, where the sequence
+1. every wake-up (timer expiry, future resolution, message delivery) is an
+   event keyed by ``(virtual_time, sequence_number)``, where the sequence
    number is a global insertion counter — ties are broken FIFO; and
 2. the kernel itself never consults a random source; randomness only enters
    through explicitly seeded latency models.
+
+Internally the loop keeps *two* event stores with one logical ordering: a
+heap for future-time events and a FIFO *ready deque* for events scheduled at
+the current virtual time (task steps, zero-delay callbacks, message
+deliveries under zero latency).  Ready events carry the same global sequence
+numbers as heap events, and the dispatcher always runs whichever store holds
+the lower ``(time, sequence)`` key, so the observable order is exactly the
+order the single heap used to produce — the deque merely turns the common
+same-time case from two O(log n) heap operations into O(1) append/popleft.
+See ``docs/ARCHITECTURE.md`` ("Performance") for the full hot-path map.
 
 The public surface mirrors a tiny subset of ``asyncio``:
 
@@ -30,11 +40,13 @@ The public surface mirrors a tiny subset of ``asyncio``:
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import (
     Any,
     Awaitable,
     Callable,
     Coroutine,
+    Deque,
     Generator,
     Iterable,
     List,
@@ -104,7 +116,8 @@ class SimFuture:
 
     # -- completion --------------------------------------------------------
     def set_result(self, value: Any) -> None:
-        self._require_pending()
+        if self._state != _PENDING:
+            self._require_pending()
         self._state = _RESOLVED
         self._result = value
         self._run_callbacks()
@@ -133,7 +146,10 @@ class SimFuture:
             )
 
     def _run_callbacks(self) -> None:
-        callbacks, self._callbacks = self._callbacks, []
+        callbacks = self._callbacks
+        if not callbacks:
+            return
+        self._callbacks = []
         for callback in callbacks:
             callback(self)
 
@@ -149,6 +165,17 @@ class SimFuture:
         else:
             self._callbacks.append(callback)
 
+    def remove_done_callback(self, callback: Callable[["SimFuture"], None]) -> int:
+        """Deregister every pending occurrence of ``callback``; return the count.
+
+        Used by :meth:`SimTask.cancel` to detach a dead task from the future
+        it was awaiting, so the future does not keep the task alive or invoke
+        its step machinery after cancellation.
+        """
+        before = len(self._callbacks)
+        self._callbacks = [cb for cb in self._callbacks if cb != callback]
+        return before - len(self._callbacks)
+
     # -- awaitable protocol --------------------------------------------------
     def __await__(self) -> Generator["SimFuture", None, Any]:
         if not self.done():
@@ -162,7 +189,7 @@ class SimFuture:
 class SimTask(SimFuture):
     """A future that drives a coroutine to completion on a :class:`SimLoop`."""
 
-    __slots__ = ("_coro", "_loop", "_waiting_on")
+    __slots__ = ("_coro", "_loop", "_waiting_on", "_done_callback")
 
     def __init__(
         self,
@@ -174,6 +201,9 @@ class SimTask(SimFuture):
         self._coro = coro
         self._loop = loop
         self._waiting_on: Optional[SimFuture] = None
+        # One bound-method object for the task's lifetime, instead of a fresh
+        # one per await (the registration path runs once per task step).
+        self._done_callback = self._on_awaited_done
 
     def _step(self, value: Any = None, exc: Optional[BaseException] = None) -> None:
         if self.done():
@@ -200,39 +230,76 @@ class SimTask(SimFuture):
             return
 
         self._waiting_on = awaited
-        awaited.add_done_callback(self._on_awaited_done)
+        awaited.add_done_callback(self._done_callback)
 
     def _on_awaited_done(self, future: SimFuture) -> None:
-        if self.done():
+        if self._state != _PENDING:
             return
-        error = future.exception() if future.done() else None
+        # Done-callbacks only fire on completed futures, so the state fields
+        # are directly readable: _exception is set on failure *and* on
+        # cancellation (matching exception()/result() semantics).
+        error = future._exception
         if error is not None:
             self._loop._schedule_step(self, None, error)
         else:
-            self._loop._schedule_step(self, future.result(), None)
+            self._loop._schedule_step(self, future._result, None)
 
     def cancel(self) -> bool:
-        """Cancel the task, throwing ``GeneratorExit`` into the coroutine."""
+        """Cancel the task, throwing ``GeneratorExit`` into the coroutine.
+
+        Detaches from whatever future the task was awaiting: leaving the
+        done-callback registered would have the awaited future later fire
+        ``_on_awaited_done`` into a dead task (a leak, and an extra callback
+        on every late reply).
+        """
         if self.done():
             return False
+        if self._waiting_on is not None:
+            self._waiting_on.remove_done_callback(self._done_callback)
+            self._waiting_on = None
         self._coro.close()
         return super().cancel()
+
+
+def _finish_sleep(future: SimFuture) -> None:
+    """Resolve a sleep future (module-level to avoid a closure per sleep)."""
+    if not future.done():
+        future.set_result(None)
 
 
 class SimLoop:
     """The deterministic virtual-time event loop.
 
-    All state transitions happen by draining a single heap of events keyed by
-    ``(time, sequence)``.  :class:`repro.net.network.Network` and the timer
-    helpers below only ever enqueue events through :meth:`call_at`, so the
-    global order of the simulation is exactly the order of the heap.
+    All state transitions happen by draining events in ``(time, sequence)``
+    order.  :class:`repro.net.network.Network` and the timer helpers below
+    only ever enqueue events through :meth:`call_at`, so the global order of
+    the simulation is exactly the order of that key.
+
+    Two stores back the single logical queue: future-time events live in a
+    heap, while events scheduled *at the current time* — task steps,
+    zero-delay callbacks — go to a FIFO ready deque and bypass the heap
+    entirely.  Every ready entry's time is the loop's current time (time
+    cannot advance while the deque is non-empty, because any later-time heap
+    event sorts after it), so comparing the heap top against the deque head
+    only needs the sequence numbers.  Events are plain
+    ``(when, seq, callback, args)`` tuples; argument tuples replace the
+    per-event lambda closures the hot paths used to allocate.
     """
+
+    #: Process-wide total of events dispatched across every loop instance.
+    #: Deterministic like the per-loop counter; lets harnesses meter kernel
+    #: work that spans many loops (e.g. a sweep running one loop per run).
+    total_events_processed = 0
 
     def __init__(self) -> None:
         self._now: VirtualTime = 0.0
         self._sequence = 0
-        self._events: List[Tuple[VirtualTime, int, Callable[[], None]]] = []
+        self._events: List[Tuple[VirtualTime, int, Callable[..., None], tuple]] = []
+        self._ready: Deque[Tuple[int, Callable[..., None], tuple]] = deque()
         self._tasks: List[SimTask] = []
+        #: Total events dispatched over the loop's lifetime (a deterministic
+        #: counter: same run -> same count; the bench harness reports it).
+        self.events_processed = 0
 
     # -- clock ---------------------------------------------------------------
     @property
@@ -241,20 +308,27 @@ class SimLoop:
         return self._now
 
     # -- scheduling primitives ------------------------------------------------
-    def call_at(self, when: VirtualTime, callback: Callable[[], None]) -> None:
-        """Schedule ``callback()`` at virtual time ``when`` (>= now)."""
+    def call_at(
+        self, when: VirtualTime, callback: Callable[..., None], *args: Any
+    ) -> None:
+        """Schedule ``callback(*args)`` at virtual time ``when`` (>= now)."""
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule event in the past: {when} < now={self._now}"
             )
         self._sequence += 1
-        heapq.heappush(self._events, (when, self._sequence, callback))
+        if when == self._now:
+            self._ready.append((self._sequence, callback, args))
+        else:
+            heapq.heappush(self._events, (when, self._sequence, callback, args))
 
-    def call_later(self, delay: VirtualTime, callback: Callable[[], None]) -> None:
-        """Schedule ``callback()`` after ``delay`` units of virtual time."""
+    def call_later(
+        self, delay: VirtualTime, callback: Callable[..., None], *args: Any
+    ) -> None:
+        """Schedule ``callback(*args)`` after ``delay`` units of virtual time."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        self.call_at(self._now + delay, callback)
+        self.call_at(self._now + delay, callback, *args)
 
     def create_task(
         self, coro: Coroutine[Any, Any, Any], name: str = ""
@@ -268,13 +342,15 @@ class SimLoop:
     def _schedule_step(
         self, task: SimTask, value: Any, exc: Optional[BaseException]
     ) -> None:
-        self.call_at(self._now, lambda: task._step(value, exc))
+        # Task steps always run "now": append straight to the ready deque.
+        self._sequence += 1
+        self._ready.append((self._sequence, task._step, (value, exc)))
 
     # -- timers ---------------------------------------------------------------
     def sleep(self, delay: VirtualTime) -> SimFuture:
         """Return a future that resolves after ``delay`` virtual time units."""
-        future = SimFuture(name=f"sleep({delay})")
-        self.call_later(delay, lambda: future.done() or future.set_result(None))
+        future = SimFuture(name="sleep")
+        self.call_later(delay, _finish_sleep, future)
         return future
 
     def timeout(self, future: SimFuture, delay: VirtualTime) -> SimFuture:
@@ -307,11 +383,6 @@ class SimLoop:
         return wrapped
 
     # -- running ---------------------------------------------------------------
-    def _pop_and_run_one(self) -> None:
-        when, _seq, callback = heapq.heappop(self._events)
-        self._now = when
-        callback()
-
     def run_until_complete(
         self,
         awaitable: Any,
@@ -320,7 +391,7 @@ class SimLoop:
         """Drive the loop until ``awaitable`` completes and return its result.
 
         ``awaitable`` may be a coroutine (it is wrapped into a task) or an
-        existing :class:`SimFuture`.  If the event heap drains before the
+        existing :class:`SimFuture`.  If the event queue drains before the
         awaitable completes a :class:`~repro.errors.DeadlockError` is raised:
         in a deterministic simulation "no more events" means no further
         progress is possible.  ``max_time`` bounds the virtual time the run
@@ -331,41 +402,82 @@ class SimLoop:
         else:
             target = self.create_task(awaitable)
 
-        while not target.done():
-            if not self._events:
-                raise DeadlockError(
-                    f"simulation deadlocked at t={self._now}: "
-                    f"no pending events but {target.name!r} is not done"
-                )
-            next_when = self._events[0][0]
-            if max_time is not None and next_when > max_time:
-                raise SimTimeoutError(
-                    f"virtual-time budget {max_time} exhausted "
-                    f"(next event at {next_when})"
-                )
-            self._pop_and_run_one()
+        # Inlined dispatch (see _pop_and_run_one): this loop is the hot path
+        # of every run, so it binds the stores once and only computes the
+        # time-budget check on heap dispatches (ready events run at `now`,
+        # which already passed the check when it was reached).
+        events = self._events
+        ready = self._ready
+        heappop = heapq.heappop
+        processed = 0
+        try:
+            # target._state is only ever rebound to the module-level state
+            # constants, so the string comparison is an identity fast path.
+            while target._state == _PENDING:
+                if ready and (
+                    not events
+                    or events[0][0] > self._now
+                    or events[0][1] > ready[0][0]
+                ):
+                    _seq, callback, args = ready.popleft()
+                elif events:
+                    when = events[0][0]
+                    if max_time is not None and when > max_time:
+                        raise SimTimeoutError(
+                            f"virtual-time budget {max_time} exhausted "
+                            f"(next event at {when})"
+                        )
+                    when, _seq, callback, args = heappop(events)
+                    self._now = when
+                else:
+                    raise DeadlockError(
+                        f"simulation deadlocked at t={self._now}: "
+                        f"no pending events but {target.name!r} is not done"
+                    )
+                processed += 1
+                callback(*args)
+        finally:
+            self.events_processed += processed
+            SimLoop.total_events_processed += processed
         return target.result()
 
     def run(self, until: Optional[VirtualTime] = None) -> VirtualTime:
         """Drain events, optionally only up to virtual time ``until``.
 
         Returns the virtual time at which the loop stopped.  Unlike
-        :meth:`run_until_complete` this never raises on an empty heap — it is
-        the natural way to "let the system settle".
+        :meth:`run_until_complete` this never raises on an empty queue — it
+        is the natural way to "let the system settle".
         """
-        while self._events:
-            next_when = self._events[0][0]
-            if until is not None and next_when > until:
-                self._now = until
-                return self._now
-            self._pop_and_run_one()
+        events = self._events
+        ready = self._ready
+        heappop = heapq.heappop
+        processed = 0
+        try:
+            while events or ready:
+                if ready and (
+                    not events
+                    or events[0][0] > self._now
+                    or events[0][1] > ready[0][0]
+                ):
+                    _seq, callback, args = ready.popleft()
+                elif until is not None and events[0][0] > until:
+                    self._now = until
+                    return self._now
+                else:
+                    when, _seq, callback, args = heappop(events)
+                    self._now = when
+                processed += 1
+                callback(*args)
+        finally:
+            self.events_processed += processed
+            SimLoop.total_events_processed += processed
         if until is not None and until > self._now:
             self._now = until
         return self._now
 
     def pending_event_count(self) -> int:
         """Number of not-yet-processed events (useful for tests)."""
-        return len(self._events)
+        return len(self._events) + len(self._ready)
 
 
 # ---------------------------------------------------------------------------
@@ -415,7 +527,7 @@ class Event:
     def __init__(self, name: str = "event") -> None:
         self._name = name
         self._is_set = False
-        self._waiters: List[SimFuture] = []
+        self._waiters: Deque[SimFuture] = deque()
 
     def is_set(self) -> bool:
         return self._is_set
@@ -423,7 +535,7 @@ class Event:
     def set(self) -> None:
         """Mark the event as set and wake every waiter."""
         self._is_set = True
-        waiters, self._waiters = self._waiters, []
+        waiters, self._waiters = self._waiters, deque()
         for waiter in waiters:
             if not waiter.done():
                 waiter.set_result(None)
@@ -446,13 +558,13 @@ class Queue:
 
     def __init__(self, name: str = "queue") -> None:
         self._name = name
-        self._items: List[Any] = []
-        self._getters: List[SimFuture] = []
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[SimFuture] = deque()
 
     def put(self, item: Any) -> None:
         """Enqueue ``item``, waking the oldest waiting getter if any."""
         while self._getters:
-            getter = self._getters.pop(0)
+            getter = self._getters.popleft()
             if not getter.done():
                 getter.set_result(item)
                 return
@@ -462,7 +574,7 @@ class Queue:
         """Return a future resolving with the next item (FIFO order)."""
         future = SimFuture(name=f"{self._name}.get")
         if self._items:
-            future.set_result(self._items.pop(0))
+            future.set_result(self._items.popleft())
         else:
             self._getters.append(future)
         return future

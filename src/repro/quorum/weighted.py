@@ -55,8 +55,11 @@ class WeightedMajorityQuorumSystem(QuorumSystem):
         return sum(self.weights.values())
 
     def weight_of(self, subset: Iterable[ProcessId]) -> Weight:
+        # Sorted order keeps the float sum independent of set iteration
+        # order (which varies with the interpreter's hash seed), so quorum
+        # decisions on last-ulp ties are reproducible across processes.
         members = self._validate_subset(subset)
-        return sum(self.weights[server] for server in members)
+        return sum(self.weights[server] for server in sorted(members))
 
     # -- quorum test -------------------------------------------------------------
     def is_quorum(self, subset: Iterable[ProcessId]) -> bool:

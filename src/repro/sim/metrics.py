@@ -29,13 +29,8 @@ __all__ = [
 ]
 
 
-def percentile(samples: Sequence[float], fraction: float) -> float:
-    """Linear-interpolation percentile (``fraction`` in [0, 1])."""
-    if not samples:
-        raise ConfigurationError("cannot take a percentile of no samples")
-    if not 0.0 <= fraction <= 1.0:
-        raise ConfigurationError("fraction must be within [0, 1]")
-    ordered = sorted(samples)
+def _percentile_sorted(ordered: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile over an already-sorted sample list."""
     if len(ordered) == 1:
         return ordered[0]
     position = fraction * (len(ordered) - 1)
@@ -43,6 +38,15 @@ def percentile(samples: Sequence[float], fraction: float) -> float:
     high = min(low + 1, len(ordered) - 1)
     weight = position - low
     return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile (``fraction`` in [0, 1])."""
+    if not samples:
+        raise ConfigurationError("cannot take a percentile of no samples")
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigurationError("fraction must be within [0, 1]")
+    return _percentile_sorted(sorted(samples), fraction)
 
 
 @dataclass(frozen=True)
@@ -75,17 +79,26 @@ class LatencySummary:
 
 
 def summarize(samples: Iterable[float]) -> LatencySummary:
-    """Summarise a collection of latency samples."""
+    """Summarise a collection of latency samples.
+
+    The samples are sorted exactly once and every percentile reads the same
+    sorted list (the naive form re-sorts per percentile).  The mean is summed
+    in the *original* sample order before sorting, so results stay
+    bit-identical to historical baselines (float addition is order-sensitive).
+    """
     values: List[float] = list(samples)
     if not values:
         raise ConfigurationError("cannot summarise an empty sample set")
+    count = len(values)
+    total = sum(values)
+    values.sort()
     return LatencySummary(
-        count=len(values),
-        mean=sum(values) / len(values),
-        median=percentile(values, 0.5),
-        p95=percentile(values, 0.95),
-        p99=percentile(values, 0.99),
-        maximum=max(values),
+        count=count,
+        mean=total / count,
+        median=_percentile_sorted(values, 0.5),
+        p95=_percentile_sorted(values, 0.95),
+        p99=_percentile_sorted(values, 0.99),
+        maximum=values[-1],
     )
 
 

@@ -33,6 +33,16 @@ class Operation:
     operation is open-loop (issue at that absolute virtual time, or
     immediately if the client is already past it); otherwise ``issue_after``
     is a closed-loop think time relative to the previous operation.
+
+    ``batch_id`` / ``batch_index`` tag batch membership: a *logical* operation
+    touching ``keys_per_op > 1`` keys expands into that many physical
+    operations sharing one ``batch_id`` (unique per client), numbered by
+    ``batch_index``.  Only the ``batch_index == 0`` operation carries the
+    arrival timing; the remainder issue immediately after it.  Untagged
+    operations (``batch_id is None``) are their own logical operation —
+    statistics code must not treat their zero think time as an arrival
+    measurement when they belong to a batch, which is exactly what
+    :func:`repro.workloads.stats.workload_stats` uses these fields for.
     """
 
     client: ProcessId
@@ -41,6 +51,8 @@ class Operation:
     issue_after: VirtualTime = 0.0  # think time relative to the previous op
     key: Optional[str] = None  # logical datum touched (workload metadata)
     issue_at: Optional[VirtualTime] = None  # absolute issue time (open-loop)
+    batch_id: Optional[int] = None  # logical-operation id (per client)
+    batch_index: int = 0  # position within the logical operation's batch
 
 
 @dataclass

@@ -322,6 +322,9 @@ class ShardedStore:
         self.shard_clients = tuple(shard_clients)
         self.shards = len(self.shard_clients)
         self._in_flight = False
+        # key -> shard memo: workloads revisit a small key set thousands of
+        # times, so each key pays the FNV-1a hash exactly once per facade.
+        self._shard_memo: Dict[Optional[str], int] = {}
         #: Completed operations in issue order (same shape as unsharded clients).
         self.history: List[OperationRecord] = []
         #: Completed operations with their shard/key placement.
@@ -329,8 +332,12 @@ class ShardedStore:
 
     # -- routing -----------------------------------------------------------------
     def shard_of(self, key: Optional[str]) -> int:
-        """The shard index serving ``key``."""
-        return shard_for_key(key, self.shards)
+        """The shard index serving ``key`` (memoised :func:`shard_for_key`)."""
+        memo = self._shard_memo
+        shard = memo.get(key)
+        if shard is None:
+            shard = memo[key] = shard_for_key(key, self.shards)
+        return shard
 
     def client_for(self, key: Optional[str]) -> Any:
         """The per-shard client handle serving ``key``."""

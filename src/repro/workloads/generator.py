@@ -100,6 +100,8 @@ class WorkloadGenerator:
                             issue_after=issue_after if first else 0.0,
                             key=key,
                             issue_at=issue_at if first else None,
+                            batch_id=op_index,
+                            batch_index=batch_index,
                         )
                     )
         return Workload(operations=operations)

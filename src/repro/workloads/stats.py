@@ -23,7 +23,18 @@ def _mean(values: List[float]) -> Optional[float]:
 
 
 def workload_stats(workload: Workload) -> Dict[str, Any]:
-    """Achieved per-axis statistics of ``workload`` (JSON-serialisable)."""
+    """Achieved per-axis statistics of ``workload`` (JSON-serialisable).
+
+    Arrival statistics are measured over *logical* operations: a multi-key
+    batch (``keys_per_op > 1``) expands into several physical operations, of
+    which only the ``batch_index == 0`` carrier holds the arrival timing.
+    The remainders used to be miscounted as zero-think closed-loop arrivals,
+    dragging ``mean_think_time`` towards zero and deflating
+    ``open_loop_fraction``; now they are grouped back onto their carrier.
+    For workloads without multi-operation batches the output is unchanged
+    field-for-field; batched workloads additionally report a ``batching``
+    block (logical-operation count and mean batch size).
+    """
     operations = workload.operations
     total = len(operations)
     reads = sum(1 for op in operations if op.kind == "read")
@@ -31,9 +42,15 @@ def workload_stats(workload: Workload) -> Dict[str, Any]:
     ranked = sorted(key_counts.values(), reverse=True)
     keyed = sum(ranked)
 
-    think_times = [op.issue_after for op in operations if op.issue_at is None]
+    # Timing carriers: the physical op that holds its logical operation's
+    # arrival.  Untagged operations (batch_id is None) are their own carrier.
+    carriers = [op for op in operations if op.batch_index == 0]
+    logical_total = len(carriers)
+    remainders = total - logical_total
+
+    think_times = [op.issue_after for op in carriers if op.issue_at is None]
     arrivals_by_client: Dict[str, List[float]] = defaultdict(list)
-    for op in operations:
+    for op in carriers:
         if op.issue_at is not None:
             arrivals_by_client[op.client].append(op.issue_at)
     gaps: List[float] = []
@@ -56,11 +73,17 @@ def workload_stats(workload: Workload) -> Dict[str, Any]:
             "top10_share": sum(ranked[:10]) / keyed if keyed else 0.0,
         },
         "arrivals": {
-            "open_loop_fraction": open_loop_ops / total if total else 0.0,
+            "open_loop_fraction": open_loop_ops / logical_total if logical_total else 0.0,
             "mean_think_time": _mean(think_times),
             "mean_interarrival": _mean(gaps),
             # Aggregate offered load across clients; open-loop only.
             "offered_rate": open_loop_ops / makespan if makespan > 0 else None,
         },
     }
+    if remainders:
+        stats["batching"] = {
+            "logical_operations": logical_total,
+            "physical_operations": total,
+            "mean_batch_size": total / logical_total if logical_total else 0.0,
+        }
     return stats

@@ -18,7 +18,16 @@ from repro.sim.workload import Operation, Workload
 
 __all__ = ["write_trace", "read_trace", "operation_to_record", "operation_from_record"]
 
-_FIELDS = ("client", "kind", "value", "issue_after", "key", "issue_at")
+_FIELDS = (
+    "client",
+    "kind",
+    "value",
+    "issue_after",
+    "key",
+    "issue_at",
+    "batch_id",
+    "batch_index",
+)
 
 
 def operation_to_record(operation: Operation) -> Dict[str, Any]:
@@ -43,6 +52,8 @@ def operation_from_record(record: Dict[str, Any]) -> Operation:
         issue_after=record.get("issue_after", 0.0),
         key=record.get("key"),
         issue_at=record.get("issue_at"),
+        batch_id=record.get("batch_id"),
+        batch_index=record.get("batch_index", 0),
     )
 
 

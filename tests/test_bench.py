@@ -1,0 +1,229 @@
+"""Tests for the ``repro.bench`` continuous-benchmarking subsystem.
+
+The contract under test: benchmarks are registered and discoverable, their
+deterministic counters are invariant across invocations (wall time is the
+only noise), trajectory files accumulate run history, ``--compare`` reports
+speedups and flags counter divergence, and ``--check`` is a working CI gate
+against the committed expectations file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import bench
+from repro.bench.core import BenchResult, _BENCHMARKS, register_benchmark
+from repro.errors import ConfigurationError
+from repro.experiments.cli import main
+
+
+@pytest.fixture
+def scratch_benchmark():
+    """Register a tiny throwaway benchmark; unregister on teardown."""
+    calls = {"count": 0}
+
+    def fn(quick):
+        calls["count"] += 1
+        return {"events": 10, "ops": 5, "counters": {"width": 2}}
+
+    entry = register_benchmark("scratch", "throwaway", fn)
+    yield entry, calls
+    _BENCHMARKS.pop("scratch", None)
+
+
+class TestRegistry:
+    def test_suite_registers_at_least_four_benchmarks(self):
+        names = bench.benchmark_names()
+        assert len(names) >= 4
+        assert {"event-loop", "abd-round", "sharded-zipfian", "sweep"} <= set(names)
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown benchmark"):
+            bench.get_benchmark("nope")
+
+    def test_duplicate_registration_rejected(self, scratch_benchmark):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_benchmark("scratch", "again", lambda quick: {})
+
+
+class TestHarness:
+    def test_counters_are_invariant_across_invocations(self):
+        first = bench.run_benchmark("event-loop", quick=True)
+        second = bench.run_benchmark("event-loop", quick=True)
+        assert first.deterministic_view() == second.deterministic_view()
+        assert first.events > 0
+        assert first.ops > 0
+
+    def test_repeat_takes_best_wall_and_checks_determinism(self, scratch_benchmark):
+        entry, calls = scratch_benchmark
+        result = bench.run_benchmark("scratch", quick=True, repeat=3)
+        assert calls["count"] == 3
+        assert result.repeat == 3
+        assert result.events == 10 and result.ops == 5
+
+    def test_nondeterministic_benchmark_rejected(self):
+        drifting = iter(range(100))
+
+        def fn(quick):
+            return {"events": next(drifting), "ops": 1}
+
+        register_benchmark("drift", "bad", fn)
+        try:
+            with pytest.raises(ConfigurationError, match="non-deterministic"):
+                bench.run_benchmark("drift", repeat=2)
+        finally:
+            _BENCHMARKS.pop("drift", None)
+
+    def test_missing_counts_rejected(self):
+        register_benchmark("hollow", "bad", lambda quick: {"events": 1})
+        try:
+            with pytest.raises(ConfigurationError, match="ops"):
+                bench.run_benchmark("hollow")
+        finally:
+            _BENCHMARKS.pop("hollow", None)
+
+    def test_rates_derive_from_wall_time(self):
+        result = BenchResult(
+            name="x", quick=True, repeat=1, wall_seconds=2.0, events=100, ops=10
+        )
+        assert result.events_per_sec == 50.0
+        assert result.ops_per_sec == 5.0
+
+
+class TestTrajectory:
+    def _result(self, wall=0.5):
+        return BenchResult(
+            name="event-loop", quick=True, repeat=1,
+            wall_seconds=wall, events=100, ops=50, counters={"tasks": 2},
+        )
+
+    def test_appends_runs_over_invocations(self, tmp_path):
+        path = bench.append_trajectory(self._result(0.5), str(tmp_path))
+        bench.append_trajectory(self._result(0.4), str(tmp_path))
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["benchmark"] == "event-loop"
+        assert [run["wall_seconds"] for run in payload["runs"]] == [0.5, 0.4]
+        assert all("timestamp" in run for run in payload["runs"])
+
+    def test_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "BENCH_event-loop.json"
+        path.write_text('{"benchmark": "other", "runs": []}')
+        with pytest.raises(ConfigurationError, match="not a trajectory"):
+            bench.append_trajectory(self._result(), str(tmp_path))
+
+    def test_load_results_accepts_dumps_and_trajectories(self, tmp_path):
+        dump = tmp_path / "results.json"
+        bench.write_results_json([self._result(0.3)], str(dump))
+        assert bench.load_results_json(str(dump))[0]["benchmark"] == "event-loop"
+        trajectory = bench.append_trajectory(self._result(0.2), str(tmp_path))
+        loaded = bench.load_results_json(trajectory)
+        assert len(loaded) == 1 and loaded[0]["wall_seconds"] == 0.2
+
+
+class TestCompare:
+    def test_speedup_and_counter_flags(self):
+        current = BenchResult(
+            name="event-loop", quick=True, repeat=1,
+            wall_seconds=0.5, events=100, ops=50,
+        )
+        prior_ok = current.as_dict() | {"wall_seconds": 1.0}
+        prior_bad = current.as_dict() | {"wall_seconds": 1.0, "events": 999}
+        rows = bench.compare_results([current], [prior_ok])
+        assert rows[0]["speedup"] == pytest.approx(2.0)
+        assert rows[0]["counters_match"]
+        rows = bench.compare_results([current], [prior_bad])
+        assert not rows[0]["counters_match"]
+
+    def test_disjoint_benchmarks_yield_no_rows(self):
+        current = BenchResult(
+            name="event-loop", quick=True, repeat=1,
+            wall_seconds=0.5, events=1, ops=1,
+        )
+        assert bench.compare_results([current], [{"benchmark": "other"}]) == []
+
+
+class TestExpectations:
+    def test_committed_expectations_match_a_quick_run(self):
+        # The CI gate end-to-end: a fresh quick run must match the committed
+        # expectations byte-for-byte.
+        results = bench.run_benchmarks(bench.benchmark_names(), quick=True)
+        problems = bench.check_expectations(
+            results, "benchmarks/bench_expectations.json", quick=True
+        )
+        assert problems == []
+
+    def test_divergence_and_unknown_benchmarks_reported(self, tmp_path):
+        result = BenchResult(
+            name="event-loop", quick=True, repeat=1,
+            wall_seconds=0.1, events=1, ops=1,
+        )
+        path = tmp_path / "expect.json"
+        path.write_text(json.dumps(
+            {"quick": {"event-loop": {"events": 2, "ops": 1, "counters": {}}}}
+        ))
+        problems = bench.check_expectations([result], str(path), quick=True)
+        assert len(problems) == 1 and "diverge" in problems[0]
+        stranger = BenchResult(
+            name="stranger", quick=True, repeat=1,
+            wall_seconds=0.1, events=1, ops=1,
+        )
+        problems = bench.check_expectations([stranger], str(path), quick=True)
+        assert "no committed expectation" in problems[0]
+
+
+class TestBenchCli:
+    def test_list_benchmarks(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "event-loop" in out and "sweep" in out
+
+    def test_quick_run_writes_json_and_trajectories(self, tmp_path, capsys):
+        json_path = tmp_path / "results.json"
+        code = main([
+            "bench", "event-loop", "--quick",
+            "--out-dir", str(tmp_path), "--json", str(json_path),
+        ])
+        assert code == 0
+        assert json.loads(json_path.read_text())[0]["benchmark"] == "event-loop"
+        assert os.path.exists(tmp_path / "BENCH_event-loop.json")
+        assert "event-loop" in capsys.readouterr().out
+
+    def test_check_gate_exit_codes(self, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        bad = tmp_path / "bad.json"
+        result = bench.run_benchmark("event-loop", quick=True)
+        good.write_text(json.dumps(
+            {"quick": bench.expectations_payload([result])}
+        ))
+        bad.write_text(json.dumps(
+            {"quick": {"event-loop": {"events": 1, "ops": 1, "counters": {}}}}
+        ))
+        assert main([
+            "bench", "event-loop", "--quick", "--no-trajectory",
+            "--check", str(good),
+        ]) == 0
+        assert main([
+            "bench", "event-loop", "--quick", "--no-trajectory",
+            "--check", str(bad),
+        ]) == 1
+
+    def test_compare_flags_divergent_counters(self, tmp_path, capsys):
+        prior = tmp_path / "prior.json"
+        result = bench.run_benchmark("event-loop", quick=True)
+        record = result.as_dict()
+        record["events"] += 1  # simulate a semantic drift
+        prior.write_text(json.dumps([record]))
+        code = main([
+            "bench", "event-loop", "--quick", "--no-trajectory",
+            "--compare", str(prior),
+        ])
+        assert code == 1
+        assert "COUNTERS DIVERGE" in capsys.readouterr().out
+
+    def test_unknown_benchmark_is_a_cli_error(self, capsys):
+        assert main(["bench", "nope", "--quick", "--no-trajectory"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err

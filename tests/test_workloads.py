@@ -269,6 +269,52 @@ class TestWorkloadStats:
         assert stats["arrivals"]["offered_rate"] is None
         assert stats["arrivals"]["mean_think_time"] == pytest.approx(1.5, rel=0.15)
 
+    def test_single_key_workloads_report_no_batching_block(self):
+        generator = WorkloadGenerator(arrivals=ClosedLoopArrivals(1.0))
+        stats = workload_stats(generator.generate(["c1"], 50, seed=0))
+        assert "batching" not in stats
+
+    def test_batch_remainders_group_into_logical_operations(self):
+        # keys_per_op=4 expands each logical op into 4 physical ops; the
+        # remainders must not be counted as zero-think closed-loop arrivals.
+        generator = WorkloadGenerator(
+            arrivals=ClosedLoopArrivals(2.0),
+            mix=OperationMix(keys_per_op=4),
+        )
+        workload = generator.generate(["c1"], 200, seed=1)
+        stats = workload_stats(workload)
+        assert stats["operations"] == 800
+        assert stats["batching"] == {
+            "logical_operations": 200,
+            "physical_operations": 800,
+            "mean_batch_size": 4.0,
+        }
+        # Before the batch fix the three zero-think remainders per batch
+        # dragged this towards 2.0 / 4 = 0.5.
+        assert stats["arrivals"]["mean_think_time"] == pytest.approx(2.0, rel=0.15)
+
+    def test_open_loop_batches_count_once_per_logical_operation(self):
+        generator = WorkloadGenerator(
+            arrivals=PoissonArrivals(rate=1.0),
+            mix=OperationMix(keys_per_op=3),
+        )
+        workload = generator.generate(["c1", "c2"], 100, seed=2)
+        stats = workload_stats(workload)
+        # Every logical operation is open-loop; the remainders (issue_at is
+        # None) used to deflate this to 1/3.
+        assert stats["arrivals"]["open_loop_fraction"] == 1.0
+        assert stats["batching"]["logical_operations"] == 200
+
+    def test_generator_tags_batch_membership(self):
+        generator = WorkloadGenerator(mix=OperationMix(keys_per_op=2))
+        workload = generator.generate(["c1"], 5, seed=0)
+        batches = {}
+        for op in workload.operations:
+            assert op.batch_id is not None
+            batches.setdefault(op.batch_id, []).append(op.batch_index)
+        assert len(batches) == 5
+        assert all(indices == [0, 1] for indices in batches.values())
+
 
 # ---------------------------------------------------------------------------
 # Trace record / replay
@@ -280,10 +326,11 @@ class TestTrace:
         generator = WorkloadGenerator(
             keys=ZipfianKeys(space=8, s=1.1),
             arrivals=PoissonArrivals(rate=3.0),
+            mix=OperationMix(keys_per_op=2),  # batch tags must round-trip too
         )
         workload = generator.generate(["c1", "c2"], 25, seed=3)
         path = tmp_path / "trace.jsonl"
-        assert write_trace(workload, str(path)) == 50
+        assert write_trace(workload, str(path)) == 100
         replayed = read_trace(str(path))
         assert replayed.operations == workload.operations
 
