@@ -1,9 +1,11 @@
-"""E10 — Section VIII: the relationship with asset transfer.
+"""E9/E10 — Section VIII: the relationship with asset transfer.
 
-Runs the same transfer workload through (a) consensus-free 1-owner asset
-transfer and (b) sequencer-ordered k-owner asset transfer, and contrasts both
-with the paper's pairwise weight reassignment on the dimension the paper
-highlights: what must hold besides "balances stay non-negative".
+A thin wrapper over the registered ``asset-transfer`` scenario (see
+:mod:`repro.experiments.catalogue`), which runs the same transfer workload
+through (a) consensus-free 1-owner asset transfer and (b) sequencer-ordered
+k-owner asset transfer, and contrasts both with the paper's pairwise weight
+reassignment on the dimension the paper highlights: what must hold besides
+"balances stay non-negative".
 
 Shapes to reproduce:
 * 1-asset transfer completes in a couple of message delays with no ordering
@@ -17,99 +19,25 @@ Shapes to reproduce:
 
 from __future__ import annotations
 
-from repro.assettransfer.k_asset import KAssetReplica
-from repro.assettransfer.one_asset import OneAssetServer
-from repro.consensus.sequencer import Sequencer
-from repro.core.reductions import OraclePairwiseReassignment, algorithm_config
-from repro.net.latency import ConstantLatency
-from repro.net.network import Network
-from repro.net.simloop import SimLoop, gather
+from repro.experiments.catalogue import asset_transfer
 
 from benchmarks.conftest import print_table
 
 
-def run_one_asset():
-    loop = SimLoop()
-    network = Network(loop, ConstantLatency(1.0))
-    ids = [f"s{i}" for i in range(1, 6)]
-    servers = {pid: OneAssetServer(pid, network, ids, 1, {p: 10.0 for p in ids}) for pid in ids}
-
-    async def scenario():
-        outcomes = await gather(loop, [
-            servers["s1"].transfer("s2", 3.0),
-            servers["s2"].transfer("s3", 3.0),
-            servers["s3"].transfer("s1", 3.0),
-        ])
-        return outcomes
-
-    outcomes = loop.run_until_complete(scenario())
-    loop.run()
-    totals = {pid: server.book.total() for pid, server in servers.items()}
-    mean_latency = sum(o.latency for o in outcomes) / len(outcomes)
-    return {"applied": sum(o.applied for o in outcomes), "latency": mean_latency,
-            "total_conserved": all(abs(t - 50.0) < 1e-9 for t in totals.values()),
-            "messages": network.messages_sent}
-
-
-def run_k_asset():
-    loop = SimLoop()
-    network = Network(loop, ConstantLatency(1.0))
-    ids = [f"s{i}" for i in range(1, 5)]
-    Sequencer("seq", network, ids)
-    balances = {"shared": 10.0, "sink": 0.0}
-    owners = {"shared": ids[:2], "sink": ids}
-    replicas = {pid: KAssetReplica(pid, network, "seq", balances, owners) for pid in ids}
-
-    async def scenario():
-        return await gather(loop, [
-            replicas["s1"].transfer("shared", "sink", 7.0),
-            replicas["s2"].transfer("shared", "sink", 7.0),
-        ])
-
-    outcomes = loop.run_until_complete(scenario())
-    loop.run()
-    final = {pid: replica.balance_of("shared") for pid, replica in replicas.items()}
-    mean_latency = sum(o.latency for o in outcomes) / len(outcomes)
-    return {"applied": sum(o.applied for o in outcomes),
-            "consistent": len(set(final.values())) == 1,
-            "latency": mean_latency}
-
-
-def run_pairwise_distribution_constraint():
-    loop = SimLoop()
-    config = algorithm_config(7, 2)
-    oracle = OraclePairwiseReassignment(loop, config)
-
-    async def scenario():
-        # Both transfers keep every "balance" non-negative, yet the second is
-        # rejected: it would give the f heaviest servers half the voting power.
-        first = await oracle.transfer("s3", "s3", "s1", 0.4)
-        second = await oracle.transfer("s4", "s4", "s1", 0.4)
-        return first, second
-
-    first, second = loop.run_until_complete(scenario())
-    balances_stay_non_negative = all(
-        weight >= 0 for weight in oracle.current_weights().values()
-    )
-    return {"first_effective": first[0].delta != 0, "second_effective": second[0].delta != 0,
-            "balances_non_negative": balances_stay_non_negative}
-
-
 def test_asset_transfer_relationship(benchmark):
-    one, k, pairwise = benchmark.pedantic(
-        lambda: (run_one_asset(), run_k_asset(), run_pairwise_distribution_constraint()),
-        rounds=3, iterations=1,
-    )
+    result = benchmark.pedantic(asset_transfer, rounds=3, iterations=1)
+    one, k, pairwise = result["one_asset"], result["k_asset"], result["pairwise"]
 
     print_table(
-        "E10: asset transfer vs. pairwise weight reassignment",
+        "E9/E10: asset transfer vs. pairwise weight reassignment",
         ["system", "ordering service", "observation"],
         [
             ("1-asset transfer (1 owner)", "none",
-             f"{one['applied']}/3 transfers applied, mean latency {one['latency']:.1f}, "
-             f"totals conserved={one['total_conserved']}"),
+             f"{one['applied']}/3 transfers applied, mean latency "
+             f"{one['mean_latency']:.1f}, totals conserved={one['total_conserved']}"),
             ("k-asset transfer (2 owners)", "sequencer",
-             f"conflicting overdraws -> {k['applied']}/2 applied, replicas consistent={k['consistent']}"),
+             f"conflicting overdraws -> {k['applied']}/2 applied, "
+             f"replicas consistent={k['consistent']}"),
             ("pairwise weight reassignment", "n/a (oracle)",
              "2nd transfer rejected by P-Integrity although no balance went negative"),
         ],

@@ -1,8 +1,12 @@
 """Declarative experiment subsystem: scenarios, sweeps, runners, results.
 
+* :mod:`repro.experiments.sections` — the uniform :class:`SpecSection`
+  protocol every spec section implements (``to_dict`` / ``from_dict`` /
+  ``flatten`` / ``validate`` / ``build``).
 * :mod:`repro.experiments.spec` — :class:`ScenarioSpec` and friends: a
-  declarative description of cluster, workload, latency, failures, transfers
-  and seed, plus the generic driver :func:`run_spec`.
+  declarative description of cluster, workload, latency, monitoring, faults,
+  transfers and seed, plus the generic driver :func:`run_spec` and the
+  spec-file loader :func:`load_spec_file`.
 * :mod:`repro.experiments.registry` — the global scenario registry, the
   :func:`scenario` decorator and :func:`register_spec`.
 * :mod:`repro.experiments.sweep` — parameter-grid expansion into
@@ -44,23 +48,32 @@ from repro.experiments.results import (
     write_json,
     write_jsonl_line,
 )
+from repro.experiments.sections import SpecSection, unflatten
 from repro.experiments.spec import (
     ArrivalSpec,
     ClusterSpec,
     FailureSpec,
+    FaultSpec,
     KeySpec,
     LatencySpec,
     MixSpec,
+    MonitoringSpec,
+    PartitionSpec,
     PhaseSpec,
+    PolicySpec,
     ScenarioSpec,
     TransferEvent,
     WorkloadSpec,
     flatten_spec,
+    load_spec_file,
     run_spec,
 )
 from repro.experiments.sweep import RunSpec, Sweep, expand_grid, expand_points
 
 __all__ = [
+    # section protocol
+    "SpecSection",
+    "unflatten",
     # spec
     "ScenarioSpec",
     "ClusterSpec",
@@ -70,10 +83,15 @@ __all__ = [
     "MixSpec",
     "PhaseSpec",
     "LatencySpec",
+    "MonitoringSpec",
+    "PolicySpec",
+    "FaultSpec",
     "FailureSpec",
+    "PartitionSpec",
     "TransferEvent",
     "run_spec",
     "flatten_spec",
+    "load_spec_file",
     # registry
     "Scenario",
     "FunctionScenario",

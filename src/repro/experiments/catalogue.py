@@ -14,16 +14,21 @@ sweep engine, the result sinks and the CLI can all consume it unchanged.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.analysis import expected_quorum_latency, inverse_latency_weights
+from repro.assettransfer import KAssetReplica, OneAssetServer
+from repro.consensus.sequencer import Sequencer
+from repro.core.reductions import OraclePairwiseReassignment, algorithm_config
 from repro.core.spec import SystemConfig, check_rp_integrity
 from repro.errors import ConfigurationError, DeadlockError, SimTimeoutError
 from repro.experiments.registry import register_spec, scenario
+from repro.experiments.sections import SpecSection
 from repro.experiments.spec import (
     ArrivalSpec,
     ClusterSpec,
-    FailureSpec,
+    FaultSpec,
     KeySpec,
     LatencySpec,
     MixSpec,
@@ -34,8 +39,7 @@ from repro.experiments.spec import (
     run_spec,
 )
 from repro.monitoring.controller import WeightController
-from repro.monitoring.monitor import LatencyMonitor, install_probe_responder
-from repro.monitoring.policy import proportional_inverse_latency_weights
+from repro.monitoring.loop import install_monitoring_control
 from repro.net.latency import (
     ConstantLatency,
     PerLinkLatency,
@@ -43,7 +47,6 @@ from repro.net.latency import (
     UniformLatency,
 )
 from repro.net.network import Network
-from repro.net.process import Process
 from repro.net.simloop import SimLoop, gather
 from repro.quorum.availability import minimum_quorum_cardinality
 from repro.quorum.majority import MajorityQuorumSystem
@@ -79,6 +82,8 @@ __all__ = [
     "hotspot_shift_monitoring",
     "sharded_zipfian_imbalance",
     "sharded_hotspot_reassignment",
+    "AssetTransferSpec",
+    "asset_transfer",
 ]
 
 
@@ -522,7 +527,7 @@ register_spec(
         cluster=ClusterSpec(flavour="dynamic-weighted", n=5, f=2, client_count=2),
         workload=WorkloadSpec(operations_per_client=15, mix=MixSpec(read_ratio=0.5)),
         latency=LatencySpec(kind="uniform", low=0.5, high=1.5),
-        failures=FailureSpec(crashes=(("s4", 10.0), ("s5", 10.0))),
+        faults=FaultSpec(crashes=(("s4", 10.0), ("s5", 10.0))),
         max_time=10_000.0,
     ),
     tags=("storage", "failures"),
@@ -599,49 +604,6 @@ register_spec(
 # ---------------------------------------------------------------------------
 # Key-sharded storage: load imbalance and per-shard reassignment.
 # ---------------------------------------------------------------------------
-
-
-def _install_monitoring_control(
-    loop: SimLoop,
-    network: Network,
-    servers: Dict[str, Any],
-    config: SystemConfig,
-    prober_pid: str,
-    rounds: int,
-    interval: float,
-    tolerance: float,
-    max_step: float,
-) -> List[WeightController]:
-    """Wire one probe/policy/controller loop over ``servers`` and start it.
-
-    This is the monitoring feedback loop both hotspot scenarios share: every
-    ``interval`` the prober pings the servers, the inverse-latency policy
-    turns the EWMA summary into target weights, and each server's
-    :class:`WeightController` takes one step towards them.  Returns the
-    controllers so callers can inspect the attempted transfers.
-    """
-    for server in servers.values():
-        install_probe_responder(server)
-    prober = Process(prober_pid, network)
-    monitor = LatencyMonitor(config.servers)
-    controllers = [
-        WeightController(server, tolerance=tolerance, max_step=max_step)
-        for server in servers.values()
-    ]
-
-    async def control_loop() -> None:
-        for _ in range(rounds):
-            await loop.sleep(interval)
-            await monitor.probe(prober)
-            targets = proportional_inverse_latency_weights(
-                monitor.summary(default=1.0), config
-            )
-            for controller in controllers:
-                controller.set_targets(targets)
-                await controller.step()
-
-    loop.create_task(control_loop(), name=f"monitoring-control:{prober_pid}")
-    return controllers
 
 
 @scenario(
@@ -775,7 +737,7 @@ def sharded_hotspot_reassignment(
     # latency *jitter* never triggers a transfer — only a genuine slowdown
     # does — so cold shards provably keep their initial weights.
     controllers_by_shard: Dict[int, List[WeightController]] = {
-        group.index: _install_monitoring_control(
+        group.index: install_monitoring_control(
             cluster.loop,
             cluster.network,
             group.servers,
@@ -876,7 +838,7 @@ def hotspot_shift_monitoring(
         start_at=shift_at,
     )
     cluster = build_dynamic_cluster(config, latency=latency, client_count=2)
-    controllers = _install_monitoring_control(
+    controllers = install_monitoring_control(
         cluster.loop,
         cluster.network,
         cluster.servers,
@@ -910,7 +872,9 @@ def hotspot_shift_monitoring(
             (before if record.completed_at < shift_at else after).append(record.latency)
     weights = {
         pid: weight
-        for pid, weight in sorted(cluster.servers["s3"].local_weights().items())
+        # s1's local view: the same vantage point run_spec reports, so the
+        # spec-file port of this scenario reproduces the result exactly.
+        for pid, weight in sorted(cluster.servers["s1"].local_weights().items())
     }
     transfers_attempted = sum(
         1 for controller in controllers
@@ -927,3 +891,170 @@ def hotspot_shift_monitoring(
         "latency_after_shift": summarize(after).median if after else None,
         "workload": workload_stats(workload),
     }
+
+
+# ---------------------------------------------------------------------------
+# E9 — Section VIII: the relationship with asset transfer.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AssetTransferSpec(SpecSection):
+    """The Section VIII comparator as a custom Spec v2 section.
+
+    Asset transfer does not fit the cluster-plus-workload mold, so instead of
+    forcing it into :class:`ScenarioSpec` this section demonstrates the other
+    way the uniform protocol composes: any frozen dataclass inheriting
+    :class:`~repro.experiments.sections.SpecSection` gets serialization,
+    dotted-path flattening and validation for free and only supplies its own
+    ``build``.  Three sub-experiments share the section's parameters:
+
+    * a ring of 1-owner transfers (consensus-free, reliable broadcast only);
+    * two conflicting k-owner overdraws (sequencer-ordered, resolved
+      identically everywhere);
+    * two pairwise weight reassignments that both keep every "balance"
+      non-negative, of which the second is still rejected — the
+      P-Integrity *distribution* constraint asset transfer lacks.
+    """
+
+    n: int = 5
+    initial_balance: float = 10.0
+    ring_amount: float = 3.0
+    shared_balance: float = 10.0
+    overdraw: float = 7.0
+    reassign_n: int = 7
+    reassign_f: int = 2
+    reassign_delta: float = 0.4
+
+    def _validate(self) -> None:
+        if self.n < 3:
+            raise ConfigurationError(
+                "asset-transfer rings three transfers around s1..s3 and "
+                f"needs n >= 3, got {self.n}"
+            )
+        if self.initial_balance < 0 or self.shared_balance < 0:
+            raise ConfigurationError("asset-transfer balances must be non-negative")
+        for label, amount in (("ring_amount", self.ring_amount),
+                              ("overdraw", self.overdraw),
+                              ("reassign_delta", self.reassign_delta)):
+            if amount <= 0:
+                raise ConfigurationError(f"{label} must be positive, got {amount}")
+
+    def _run_one_asset(self) -> Dict[str, Any]:
+        loop = SimLoop()
+        network = Network(loop, ConstantLatency(1.0))
+        ids = [f"s{i}" for i in range(1, self.n + 1)]
+        servers = {
+            pid: OneAssetServer(
+                pid, network, ids, 1, {p: self.initial_balance for p in ids}
+            )
+            for pid in ids
+        }
+
+        async def run() -> List[Any]:
+            return await gather(loop, [
+                servers["s1"].transfer("s2", self.ring_amount),
+                servers["s2"].transfer("s3", self.ring_amount),
+                servers["s3"].transfer("s1", self.ring_amount),
+            ])
+
+        outcomes = loop.run_until_complete(run())
+        loop.run()
+        total = self.initial_balance * self.n
+        totals = {pid: server.book.total() for pid, server in servers.items()}
+        return {
+            "applied": sum(1 for outcome in outcomes if outcome.applied),
+            "mean_latency": sum(o.latency for o in outcomes) / len(outcomes),
+            "total_conserved": all(abs(t - total) < 1e-9 for t in totals.values()),
+            "messages": network.messages_sent,
+        }
+
+    def _run_k_asset(self) -> Dict[str, Any]:
+        loop = SimLoop()
+        network = Network(loop, ConstantLatency(1.0))
+        ids = [f"s{i}" for i in range(1, 5)]
+        Sequencer("seq", network, ids)
+        balances = {"shared": self.shared_balance, "sink": 0.0}
+        owners = {"shared": ids[:2], "sink": ids}
+        replicas = {
+            pid: KAssetReplica(pid, network, "seq", balances, owners) for pid in ids
+        }
+
+        async def run() -> List[Any]:
+            # Two owners race to overdraw the shared account; the sequencer
+            # orders them, so exactly one applies when 2*overdraw exceeds it.
+            return await gather(loop, [
+                replicas["s1"].transfer("shared", "sink", self.overdraw),
+                replicas["s2"].transfer("shared", "sink", self.overdraw),
+            ])
+
+        outcomes = loop.run_until_complete(run())
+        loop.run()
+        final = {pid: replica.balance_of("shared") for pid, replica in replicas.items()}
+        return {
+            "applied": sum(1 for outcome in outcomes if outcome.applied),
+            "consistent": len(set(final.values())) == 1,
+            "mean_latency": sum(o.latency for o in outcomes) / len(outcomes),
+            "final_shared_balance": final["s1"],
+        }
+
+    def _run_pairwise(self) -> Dict[str, Any]:
+        loop = SimLoop()
+        config = algorithm_config(self.reassign_n, self.reassign_f)
+        oracle = OraclePairwiseReassignment(loop, config)
+
+        async def run() -> Tuple[Any, Any]:
+            # Both transfers keep every "balance" non-negative, yet the second
+            # is rejected: it would give the f heaviest servers half the
+            # voting power.
+            first = await oracle.transfer("s3", "s3", "s1", self.reassign_delta)
+            second = await oracle.transfer("s4", "s4", "s1", self.reassign_delta)
+            return first, second
+
+        first, second = loop.run_until_complete(run())
+        return {
+            "first_effective": first[0].delta != 0,
+            "second_effective": second[0].delta != 0,
+            "balances_non_negative": all(
+                weight >= 0 for weight in oracle.current_weights().values()
+            ),
+        }
+
+    def build(self) -> Dict[str, Any]:
+        """Run all three sub-experiments and return their result blocks."""
+        return {
+            "one_asset": self._run_one_asset(),
+            "k_asset": self._run_k_asset(),
+            "pairwise": self._run_pairwise(),
+        }
+
+
+@scenario(
+    "asset-transfer",
+    description="Section VIII (E9): the same transfer workload through "
+    "consensus-free 1-owner asset transfer and sequencer-ordered k-owner "
+    "accounts, vs pairwise weight reassignment's extra P-Integrity "
+    "distribution constraint.",
+    tags=("paper", "asset-transfer", "baseline"),
+)
+def asset_transfer(
+    n: int = 5,
+    initial_balance: float = 10.0,
+    ring_amount: float = 3.0,
+    shared_balance: float = 10.0,
+    overdraw: float = 7.0,
+    reassign_n: int = 7,
+    reassign_f: int = 2,
+    reassign_delta: float = 0.4,
+) -> Dict[str, Any]:
+    """Run the Section VIII comparator (built on the AssetTransferSpec section)."""
+    return AssetTransferSpec(
+        n=n,
+        initial_balance=initial_balance,
+        ring_amount=ring_amount,
+        shared_balance=shared_balance,
+        overdraw=overdraw,
+        reassign_n=reassign_n,
+        reassign_f=reassign_f,
+        reassign_delta=reassign_delta,
+    ).validate().build()

@@ -3,11 +3,15 @@
 Subcommands:
 
 * ``list``     — show the registered scenarios (name, tags, parameters).
-* ``run``      — execute one scenario, optionally overriding parameters.
+* ``run``      — execute one scenario — a registered name, or a JSON spec
+  file via ``--spec path.json`` (see ``examples/specs/``) — optionally
+  overriding parameters.
 * ``sweep``    — expand a parameter grid (or ``--sample`` N points from it,
-  or explicit ``--point``s) and execute it, serially or across worker
-  processes; results are identical either way.  Progress is reported per
-  run on stderr, and ``--jsonl`` streams results to a chunked sink as they
+  uniform or Latin-hypercube via ``--sample-method lhs``, or explicit
+  ``--point``s) and execute it, serially or across worker processes;
+  results are identical either way.  ``--spec path.json`` sweeps a spec
+  file instead of a registered scenario.  Progress is reported per run on
+  stderr, and ``--jsonl`` streams results to a chunked sink as they
   complete instead of holding the whole sweep in memory.
 * ``compare``  — diff a result JSON/JSONL against a baseline (runs are
   matched by ``run_id``, so completion order does not matter).
@@ -27,12 +31,19 @@ from __future__ import annotations
 import argparse
 import ast
 import json
+import multiprocessing
 import sys
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import ReproError
 from repro.experiments.executor import RunResult, execute_many, execute_stream
-from repro.experiments.registry import all_scenarios, get_scenario
+from repro.experiments.registry import (
+    all_scenarios,
+    get_scenario,
+    register_spec,
+    scenario_names,
+)
+from repro.experiments.spec import load_spec_file
 from repro.experiments.results import (
     compare_payloads,
     dumps_json,
@@ -125,16 +136,46 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_scenario(args: argparse.Namespace) -> str:
+    """The scenario to execute: a registered name, or a --spec file.
+
+    A spec file is parsed strictly (unknown keys rejected), validated, and
+    registered under its own name — replacing a same-named catalogue entry
+    for this process — so the sweep machinery and fork-based workers treat
+    it exactly like a built-in scenario.  Spawn-based workers re-import only
+    the built-in catalogue and would not see the runtime registration, so
+    parallel ``sweep --spec`` is rejected where fork is unavailable.
+    """
+    spec_path = getattr(args, "spec_path", None)
+    if spec_path and args.scenario:
+        raise ReproError("give a registered scenario name or --spec, not both")
+    if spec_path:
+        workers = getattr(args, "workers", 1)
+        if workers > 1 and "fork" not in multiprocessing.get_all_start_methods():
+            raise ReproError(
+                "sweep --spec needs fork-based workers (spawn-only platforms "
+                "cannot see the runtime-registered spec); use --workers 1"
+            )
+        scenario_names()  # load the built-in catalogue first, so a spec file
+        spec = load_spec_file(spec_path)  # shadowing a name wins (replace=True)
+        register_spec(spec, tags=("spec-file",), replace=True)
+        return spec.name
+    if not args.scenario:
+        raise ReproError("a scenario name (or --spec path.json) is required")
+    get_scenario(args.scenario)  # fail fast with the list of known names
+    return args.scenario
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     params = _parse_params(args.param)
-    get_scenario(args.scenario)  # fail fast with the list of known names
-    run = RunSpec(scenario=args.scenario, params=tuple(sorted(params.items())))
+    scenario = _resolve_scenario(args)
+    run = RunSpec(scenario=scenario, params=tuple(sorted(params.items())))
     results = execute_many([run], workers=1)
     _emit(results, args)
     return 0
 
 
-def _sweep_runs(args: argparse.Namespace) -> List[RunSpec]:
+def _sweep_runs(args: argparse.Namespace, scenario: str) -> List[RunSpec]:
     grid = _parse_grid(args.grid)
     if args.seeds:
         grid["seed"] = [_parse_value(value) for value in args.seeds.split(",") if value != ""]
@@ -143,16 +184,17 @@ def _sweep_runs(args: argparse.Namespace) -> List[RunSpec]:
         if grid or args.sample is not None:
             raise ReproError("--point cannot be combined with -g/--seeds/--sample")
         points = [_parse_params(point.split()) for point in args.point]
-        return expand_points(args.scenario, points, base=base)
+        return expand_points(scenario, points, base=base)
     if args.sample is not None:
-        sweep = Sweep.of(args.scenario, grid=grid, base=base)
-        return sweep.sample(args.sample, seed=args.sample_seed)
-    return expand_grid(args.scenario, grid=grid, base=base)
+        sweep = Sweep.of(scenario, grid=grid, base=base)
+        return sweep.sample(args.sample, seed=args.sample_seed,
+                            method=args.sample_method)
+    return expand_grid(scenario, grid=grid, base=base)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    get_scenario(args.scenario)  # fail fast with the list of known names
-    runs = _sweep_runs(args)
+    scenario = _resolve_scenario(args)
+    runs = _sweep_runs(args, scenario)
     total = len(runs)
     # Buffer results only for sinks that need the complete, input-ordered
     # list; a --jsonl-only sweep streams in constant memory.
@@ -258,8 +300,11 @@ def build_parser() -> argparse.ArgumentParser:
         "  python -m repro list\n"
         "  python -m repro run quickstart -p cluster.n=7 -p seed=3\n"
         "  python -m repro run quickstart -p cluster.shards=4\n"
+        "  python -m repro run --spec examples/specs/hotspot-shift-monitoring.json\n"
         "  python -m repro sweep quickstart -g cluster.shards=1,2,4 "
         "--seeds 0,1,2 --workers 4\n"
+        "  python -m repro sweep --spec examples/specs/hotspot-shift-monitoring.json "
+        "\\\n      -g monitoring.policy.threshold=0.05,0.1,0.2\n"
         "  python -m repro compare results.json benchmarks/baselines/quickstart.json\n"
         "\n"
         "declarative scenarios take dotted spec paths (cluster.n, "
@@ -289,7 +334,11 @@ def build_parser() -> argparse.ArgumentParser:
         "Parameters: -p cluster.n=7 (spec paths) or -p n=7 (function "
         "kwargs); values parse as Python literals and fall back to strings.",
     )
-    p_run.add_argument("scenario", help="registered scenario name")
+    p_run.add_argument("scenario", nargs="?",
+                       help="registered scenario name (or use --spec)")
+    p_run.add_argument("--spec", dest="spec_path", metavar="PATH",
+                       help="run a JSON spec file instead of a registered "
+                       "scenario (see examples/specs/)")
     p_run.add_argument("-p", "--param", action="append", default=[],
                        metavar="KEY=VALUE", help="override a scenario parameter")
     p_run.add_argument("--json", metavar="PATH", help="write results to a JSON file")
@@ -305,7 +354,11 @@ def build_parser() -> argparse.ArgumentParser:
         "explicit --point lists, and execute every run — serially or across "
         "--workers processes (results are identical either way).",
     )
-    p_sweep.add_argument("scenario", help="registered scenario name")
+    p_sweep.add_argument("scenario", nargs="?",
+                         help="registered scenario name (or use --spec)")
+    p_sweep.add_argument("--spec", dest="spec_path", metavar="PATH",
+                         help="sweep a JSON spec file instead of a registered "
+                         "scenario (see examples/specs/)")
     p_sweep.add_argument("-g", "--grid", action="append", default=[],
                          metavar="AXIS=V1,V2,...", help="add a sweep axis")
     p_sweep.add_argument("--seeds", metavar="S1,S2,...",
@@ -313,10 +366,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("-p", "--param", action="append", default=[],
                          metavar="KEY=VALUE", help="fix a parameter across the sweep")
     p_sweep.add_argument("--sample", type=int, metavar="N",
-                         help="run N seeded-random distinct grid points instead "
+                         help="run N seeded-random grid points instead "
                          "of the full cartesian product")
     p_sweep.add_argument("--sample-seed", type=int, default=0, metavar="SEED",
                          help="seed for --sample (default 0)")
+    p_sweep.add_argument("--sample-method", choices=("uniform", "lhs"),
+                         default="uniform",
+                         help="--sample design: uniform without replacement, "
+                         "or lhs (Latin hypercube: every axis's values "
+                         "covered as evenly as N allows)")
     p_sweep.add_argument("--point", action="append", default=[],
                          metavar='"K=V K2=V2"',
                          help="explicit parameter point, space-separated pairs "

@@ -23,7 +23,7 @@ import inspect
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import ConfigurationError
-from repro.experiments.spec import ScenarioSpec, flatten_spec, run_spec
+from repro.experiments.spec import ScenarioSpec, run_spec
 
 __all__ = [
     "Scenario",
@@ -134,7 +134,8 @@ class SpecScenario(Scenario):
     kind = "spec"
 
     def __init__(self, spec: ScenarioSpec, tags: Tuple[str, ...] = ()) -> None:
-        super().__init__(spec.name, spec.description, tags, flatten_spec(spec))
+        # The uniform section protocol supplies the sweepable parameter map.
+        super().__init__(spec.name, spec.description, tags, spec.flatten())
         self.spec = spec
 
     def execute(self, params: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:

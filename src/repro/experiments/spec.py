@@ -1,37 +1,52 @@
-"""Declarative scenario specifications and the generic workload driver.
+"""Declarative scenario specifications (Spec v2) and the generic driver.
 
 A :class:`ScenarioSpec` describes one simulated experiment without running
-it: the cluster flavour and size, the latency model, the workload, the
-failure schedule, scheduled weight transfers (the protocol knob the paper is
-about) and the seed.  Every field lives in a small frozen dataclass, so a
-spec is hashable, picklable, and can be *swept*: :meth:`ScenarioSpec.
-with_overrides` rebuilds the tree with dotted-path parameter overrides
-(``{"cluster.n": 9, "workload.mix.read_ratio": 0.9, "seed": 3}``), which is
-the substrate the sweep engine and the CLI build on.
+it.  Every part of the description is a *section* — a frozen dataclass
+implementing the uniform :class:`~repro.experiments.sections.SpecSection`
+protocol (``to_dict`` / ``from_dict`` / ``flatten`` / ``validate`` /
+``build``) — and the spec itself is just the root section composing the
+others:
 
-The workload section is itself composable: :class:`WorkloadSpec` nests a
-:class:`KeySpec` (uniform / zipfian / hotspot popularity), an
-:class:`ArrivalSpec` (closed-loop think time, open-loop Poisson, bursty
-on/off), a :class:`MixSpec` (read ratio, multi-key fan-out) and a tuple of
-:class:`PhaseSpec` mid-run axis flips — every leaf addressable by sweep
-paths such as ``workload.keys.zipf_s`` or ``workload.arrivals.rate``.  A
-``trace`` path replays a recorded JSONL workload instead of generating one.
+* :class:`ClusterSpec` — flavour, size, fault threshold, sharding, weights;
+* :class:`WorkloadSpec` — key popularity × arrivals × mix × phases (or a
+  recorded trace), every leaf sweepable (``workload.keys.zipf_s``);
+* :class:`LatencySpec` — the latency model, plus the slowdown wrapper;
+* :class:`MonitoringSpec` — the probe → policy → controller feedback loop
+  (interval, window, policy kind + threshold, controller gain, per-shard vs
+  global scope), built by :func:`repro.sim.runner.install_monitoring` into
+  the existing :class:`~repro.monitoring.monitor.LatencyMonitor` / policy /
+  :class:`~repro.monitoring.controller.WeightController` objects;
+* :class:`FaultSpec` — crash/recover schedules and partition/heal windows,
+  built into a :class:`~repro.sim.failures.FailureSchedule`;
+* :class:`TransferEvent` — scheduled weight transfers (the protocol knob
+  the paper is about).
 
-:func:`run_spec` is the generic driver: build the cluster, generate the
-workload, arm failures and transfers, run, and return a plain
-JSON-serialisable result dict.  Scenarios that do not fit the
-cluster-plus-workload mold (analytic comparisons, protocol walkthroughs)
-register plain functions instead — see :mod:`repro.experiments.registry`.
+Because the protocol is uniform, a spec round-trips through JSON
+(:meth:`ScenarioSpec.to_dict` / :meth:`ScenarioSpec.from_dict`, or
+:func:`load_spec_file` for files — see ``examples/specs/``), flattens into
+one dotted-path parameter dict for the sweep engine (``cluster.n``,
+``monitoring.policy.threshold``, ``faults.crashes``, ``seed``), and
+rebuilds with :meth:`ScenarioSpec.with_overrides`.
+
+:func:`run_spec` is the generic driver: build the cluster, install
+monitoring, generate the workload, arm faults and transfers, run, and
+return a plain JSON-serialisable result dict.  Scenarios that do not fit
+the cluster-plus-workload mold (analytic comparisons, protocol
+walkthroughs) register plain functions instead — see
+:mod:`repro.experiments.registry`.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import functools
+import json
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.core.spec import SystemConfig
 from repro.errors import ConfigurationError
+from repro.experiments.sections import SpecSection, unflatten
 from repro.net.latency import (
     ConstantLatency,
     LatencyModel,
@@ -46,12 +61,16 @@ from repro.sim.cluster import (
     build_sharded_cluster,
     build_static_cluster,
 )
-from repro.sim.failures import FailureSchedule
+from repro.sim.failures import FailureSchedule, windows_overlap
 from repro.sim.metrics import LatencySummary
-from repro.sim.runner import run_workload
+from repro.sim.runner import MonitoringHarness, install_monitoring, run_workload
 from repro.sim.workload import Workload
+from repro.monitoring.policy import (
+    proportional_inverse_latency_weights,
+    wheat_style_weights,
+)
 from repro.storage.sharded import expand_process_names, shard_process_name
-from repro.types import ProcessId, VirtualTime, server_set
+from repro.types import ProcessId, VirtualTime, Weight, server_set
 from repro.workloads.arrivals import (
     ArrivalProcess,
     ClosedLoopArrivals,
@@ -66,6 +85,8 @@ from repro.workloads.stats import workload_stats
 from repro.workloads.trace import read_trace
 
 __all__ = [
+    "SpecSection",
+    "unflatten",
     "LatencySpec",
     "ClusterSpec",
     "KeySpec",
@@ -73,18 +94,28 @@ __all__ = [
     "MixSpec",
     "PhaseSpec",
     "WorkloadSpec",
+    "PolicySpec",
+    "MonitoringSpec",
+    "PartitionSpec",
+    "FaultSpec",
     "FailureSpec",
     "TransferEvent",
     "ScenarioSpec",
     "run_spec",
     "flatten_spec",
+    "load_spec_file",
 ]
 
 CLUSTER_FLAVOURS = ("dynamic-weighted", "static-majority", "static-weighted")
+LATENCY_KINDS = ("constant", "uniform", "lognormal")
+KEY_KINDS = ("uniform", "zipfian", "hotspot")
+ARRIVAL_KINDS = ("closed", "poisson", "onoff")
+POLICY_KINDS = ("inverse-latency", "wheat")
+MONITORING_SCOPES = ("per-shard", "global")
 
 
 @dataclass(frozen=True)
-class LatencySpec:
+class LatencySpec(SpecSection):
     """Which :class:`~repro.net.latency.LatencyModel` to build, and how.
 
     ``kind`` selects the model (``constant`` / ``uniform`` / ``lognormal``);
@@ -106,6 +137,13 @@ class LatencySpec:
     slow_factor: float = 8.0
     slow_start: VirtualTime = 0.0
     slow_end: Optional[VirtualTime] = None
+
+    def _validate(self) -> None:
+        if self.kind not in LATENCY_KINDS:
+            raise ConfigurationError(
+                f"unknown latency kind {self.kind!r}; "
+                "expected constant, uniform or lognormal"
+            )
 
     def build(self, seed: int = 0, shards: int = 1) -> LatencyModel:
         """Construct the configured latency model (seeded for jittery kinds).
@@ -138,7 +176,7 @@ class LatencySpec:
 
 
 @dataclass(frozen=True)
-class ClusterSpec:
+class ClusterSpec(SpecSection):
     """Cluster flavour, size, fault threshold, sharding and initial weights.
 
     ``n``, ``f`` and ``initial_weights`` describe one replica group; with
@@ -154,6 +192,9 @@ class ClusterSpec:
     client_count: int = 2
     initial_weights: Tuple[Tuple[ProcessId, float], ...] = ()
     shards: int = 1
+
+    def _validate(self) -> None:
+        self.system_config()  # raises the canonical errors without building
 
     def system_config(self) -> SystemConfig:
         """Build the (per-shard) :class:`SystemConfig` this spec describes."""
@@ -212,7 +253,7 @@ class ClusterSpec:
 
 
 @dataclass(frozen=True)
-class KeySpec:
+class KeySpec(SpecSection):
     """Which key-popularity distribution to build, and how.
 
     ``kind`` selects ``uniform`` / ``zipfian`` / ``hotspot``; the remaining
@@ -226,6 +267,17 @@ class KeySpec:
     hot_fraction: float = 0.125
     hot_weight: float = 0.9
     offset: int = 0
+
+    def _validate(self) -> None:
+        if self.kind not in KEY_KINDS:
+            raise ConfigurationError(
+                f"unknown key distribution kind {self.kind!r}; "
+                "expected uniform, zipfian or hotspot"
+            )
+        if self.space < 1:
+            raise ConfigurationError(
+                f"workload.keys.space must be at least 1, got {self.space}"
+            )
 
     def build(self) -> KeyDistribution:
         """Construct the configured key-popularity distribution."""
@@ -247,7 +299,7 @@ class KeySpec:
 
 
 @dataclass(frozen=True)
-class ArrivalSpec:
+class ArrivalSpec(SpecSection):
     """Which arrival process to build, and how.
 
     ``kind`` selects ``closed`` (think-time loop) / ``poisson`` (open-loop)
@@ -261,6 +313,12 @@ class ArrivalSpec:
     burst_rate: float = 4.0
     burst_length: VirtualTime = 5.0
     idle_time: VirtualTime = 10.0
+
+    def _validate(self) -> None:
+        if self.kind not in ARRIVAL_KINDS:
+            raise ConfigurationError(
+                f"unknown arrival kind {self.kind!r}; expected closed, poisson or onoff"
+            )
 
     def build(self) -> ArrivalProcess:
         """Construct the configured arrival process."""
@@ -280,11 +338,21 @@ class ArrivalSpec:
 
 
 @dataclass(frozen=True)
-class MixSpec:
+class MixSpec(SpecSection):
     """Read/write ratio and multi-key fan-out of one logical operation."""
 
     read_ratio: float = 0.5
     keys_per_op: int = 1
+
+    def _validate(self) -> None:
+        if not 0.0 <= self.read_ratio <= 1.0:
+            raise ConfigurationError(
+                f"workload.mix.read_ratio must be within [0, 1], got {self.read_ratio}"
+            )
+        if self.keys_per_op < 1:
+            raise ConfigurationError(
+                f"workload.mix.keys_per_op must be at least 1, got {self.keys_per_op}"
+            )
 
     def build(self) -> OperationMix:
         """Construct the configured operation mix."""
@@ -295,7 +363,7 @@ _PHASE_AXES = ("keys", "arrivals", "mix")
 
 
 @dataclass(frozen=True)
-class PhaseSpec:
+class PhaseSpec(SpecSection):
     """A mid-run workload flip: at ``at``, apply ``overrides`` to the base axes.
 
     ``overrides`` are dotted paths *within the workload section* and apply to
@@ -307,9 +375,26 @@ class PhaseSpec:
     at: VirtualTime
     overrides: Tuple[Tuple[str, Any], ...] = ()
 
+    def _validate(self) -> None:
+        if self.at < 0:
+            raise ConfigurationError(
+                f"phase start times must be non-negative, got {self.at}"
+            )
+        for entry in self.overrides:
+            if not (isinstance(entry, tuple) and len(entry) == 2):
+                raise ConfigurationError(
+                    f"invalid phase override {entry!r}: expected (path, value)"
+                )
+            parts = str(entry[0]).split(".")
+            if parts[0] not in _PHASE_AXES or len(parts) < 2:
+                raise ConfigurationError(
+                    f"phase override {entry[0]!r} must target a field inside one of "
+                    f"the workload axes {_PHASE_AXES} (e.g. 'keys.offset')"
+                )
+
 
 @dataclass(frozen=True)
-class WorkloadSpec:
+class WorkloadSpec(SpecSection):
     """The pluggable workload section: axes, phases, or a trace to replay."""
 
     operations_per_client: int = 10
@@ -318,6 +403,13 @@ class WorkloadSpec:
     mix: MixSpec = MixSpec()
     phases: Tuple[PhaseSpec, ...] = ()
     trace: Optional[str] = None
+
+    def _validate(self) -> None:
+        if self.operations_per_client < 1:
+            raise ConfigurationError(
+                "workload.operations_per_client must be at least 1, "
+                f"got {self.operations_per_client}"
+            )
 
     def _phase(self, spec: "PhaseSpec") -> Phase:
         overridden = self
@@ -352,29 +444,244 @@ class WorkloadSpec:
 
 
 @dataclass(frozen=True)
-class FailureSpec:
-    """Crash-stop events as ``(process, virtual_time)`` pairs.
+class PolicySpec(SpecSection):
+    """Which weight-assignment policy closes the monitoring loop, and how.
 
-    On a sharded cluster a canonical process name (``s4``) crashes that
-    server's instance in every shard (the machine hosting them); a qualified
-    name (``s4#2``) crashes one shard's instance only.
+    ``kind`` selects :func:`~repro.monitoring.policy.
+    proportional_inverse_latency_weights` (``inverse-latency``) or
+    :func:`~repro.monitoring.policy.wheat_style_weights` (``wheat``);
+    ``threshold`` is the controller dead-band (deficits below it are never
+    chased), ``margin`` the RP-Integrity clipping margin, and
+    ``extra_servers`` the WHEAT deployment surplus (ignored by the inverse-
+    latency policy).
+    """
+
+    kind: str = "inverse-latency"
+    threshold: Weight = 0.05
+    margin: float = 0.05
+    extra_servers: int = 1
+
+    def _validate(self) -> None:
+        if self.kind not in POLICY_KINDS:
+            raise ConfigurationError(
+                f"unknown policy kind {self.kind!r}; "
+                "expected inverse-latency or wheat"
+            )
+        if self.threshold <= 0:
+            raise ConfigurationError(
+                f"monitoring.policy.threshold must be positive, got {self.threshold}"
+            )
+        if self.margin < 0:
+            raise ConfigurationError(
+                f"monitoring.policy.margin must be non-negative, got {self.margin}"
+            )
+
+    def build(self):
+        """The policy as a ``(latency_summary, config) -> targets`` callable."""
+        if self.kind == "inverse-latency":
+            return functools.partial(
+                proportional_inverse_latency_weights, margin=self.margin
+            )
+        if self.kind == "wheat":
+            return functools.partial(
+                wheat_style_weights,
+                extra_servers=self.extra_servers,
+                margin=self.margin,
+            )
+        raise ConfigurationError(
+            f"unknown policy kind {self.kind!r}; expected inverse-latency or wheat"
+        )
+
+
+@dataclass(frozen=True)
+class MonitoringSpec(SpecSection):
+    """The declarative probe → policy → controller feedback loop.
+
+    When ``enabled``, :func:`run_spec` installs — before the workload starts
+    — a prober that pings every server each ``interval``, a
+    :class:`~repro.monitoring.monitor.LatencyMonitor` (sliding ``window``,
+    EWMA ``ewma_alpha``) folding the replies, the :class:`PolicySpec` policy
+    mapping the summary to target weights, and one
+    :class:`~repro.monitoring.controller.WeightController` per server taking
+    a step of at most ``gain`` towards them; the loop runs ``rounds`` times.
+
+    On a sharded cluster ``scope`` picks the topology: ``per-shard`` wires a
+    fully independent loop into every shard (own prober ``mon#k``, own
+    monitor, own controllers — nothing shared), while ``global`` runs one
+    machine-level monitor that probes every shard's instances, aggregates
+    latencies per canonical machine, and drives all shards' controllers with
+    the same target map.  Monitoring requires the ``dynamic-weighted``
+    flavour (controllers speak the paper's ``transfer``).
+    """
+
+    enabled: bool = False
+    interval: VirtualTime = 5.0
+    rounds: int = 8
+    window: int = 32
+    ewma_alpha: float = 0.3
+    policy: PolicySpec = PolicySpec()
+    gain: Weight = 0.3
+    scope: str = "per-shard"
+    prober: ProcessId = "mon"
+
+    def _validate(self) -> None:
+        if self.interval <= 0:
+            raise ConfigurationError(
+                f"monitoring.interval must be positive, got {self.interval}"
+            )
+        if self.rounds < 1:
+            raise ConfigurationError(
+                f"monitoring.rounds must be at least 1, got {self.rounds}"
+            )
+        if self.window < 1:
+            raise ConfigurationError(
+                f"monitoring.window must be at least 1, got {self.window}"
+            )
+        if not 0 < self.ewma_alpha <= 1:
+            raise ConfigurationError(
+                f"monitoring.ewma_alpha must be in (0, 1], got {self.ewma_alpha}"
+            )
+        if self.gain <= 0:
+            raise ConfigurationError(
+                f"monitoring.gain must be positive, got {self.gain}"
+            )
+        if self.scope not in MONITORING_SCOPES:
+            raise ConfigurationError(
+                f"unknown monitoring scope {self.scope!r}; "
+                f"expected one of {MONITORING_SCOPES}"
+            )
+        if not self.prober:
+            raise ConfigurationError("monitoring.prober must not be empty")
+
+    def build(self, cluster: Union[Cluster, ShardedCluster]) -> MonitoringHarness:
+        """Install the loop on ``cluster`` (see :func:`~repro.sim.runner.
+        install_monitoring`) and return the harness holding the controllers."""
+        return install_monitoring(
+            cluster,
+            interval=self.interval,
+            rounds=self.rounds,
+            window=self.window,
+            ewma_alpha=self.ewma_alpha,
+            tolerance=self.policy.threshold,
+            max_step=self.gain,
+            scope=self.scope,
+            prober=self.prober,
+            policy=self.policy.build(),
+        )
+
+
+@dataclass(frozen=True)
+class PartitionSpec(SpecSection):
+    """A partition window: split into ``groups`` at ``at``, heal at ``heal_at``.
+
+    Processes (servers *and* clients) not listed in any group form an
+    implicit extra group; on a sharded cluster canonical names expand to
+    every shard's instance.  ``heal_at=None`` never heals.
+    """
+
+    at: VirtualTime
+    groups: Tuple[Tuple[ProcessId, ...], ...] = ()
+    heal_at: Optional[VirtualTime] = None
+
+    def _validate(self) -> None:
+        if self.at < 0:
+            raise ConfigurationError(
+                f"partition times must be non-negative, got {self.at}"
+            )
+        if self.heal_at is not None and self.heal_at <= self.at:
+            raise ConfigurationError(
+                f"partition heal_at={self.heal_at} must be after at={self.at}"
+            )
+        if not self.groups or any(not group for group in self.groups):
+            raise ConfigurationError(
+                "a partition window needs at least one non-empty group"
+            )
+
+    def overlaps(self, other: "PartitionSpec") -> bool:
+        """Whether two windows are live at the same time (heal() is global)."""
+        return windows_overlap(self.at, self.heal_at, other.at, other.heal_at)
+
+
+@dataclass(frozen=True)
+class FaultSpec(SpecSection):
+    """The fault-injection section: crash/recover schedules, partition windows.
+
+    ``crashes`` and ``recoveries`` are ``(process, virtual_time)`` pairs;
+    ``partitions`` are :class:`PartitionSpec` windows.  On a sharded cluster
+    a canonical process name (``s4``) targets that server's instance in
+    every shard (the machine hosting them); a qualified name (``s4#2``)
+    targets one shard's instance only — the same *per-group targeting* rule
+    latency slowdowns use, so fault scenarios sweep over ``cluster.shards``
+    unchanged.  (``failures`` is accepted as a legacy alias for this section
+    in spec files and dotted override paths.)
     """
 
     crashes: Tuple[Tuple[ProcessId, VirtualTime], ...] = ()
+    recoveries: Tuple[Tuple[ProcessId, VirtualTime], ...] = ()
+    partitions: Tuple[PartitionSpec, ...] = ()
+
+    def _validate(self) -> None:
+        for label, entries in (("crashes", self.crashes),
+                               ("recoveries", self.recoveries)):
+            for entry in entries:
+                if not (isinstance(entry, tuple) and len(entry) == 2):
+                    raise ConfigurationError(
+                        f"invalid faults.{label} entry {entry!r}: "
+                        "expected (process, at)"
+                    )
+                if entry[1] < 0:
+                    raise ConfigurationError(
+                        f"faults.{label} times must be non-negative, got {entry[1]}"
+                    )
+        windows = [w for w in self.partitions if isinstance(w, PartitionSpec)]
+        for index, window in enumerate(windows):
+            for other in windows[index + 1:]:
+                if window.overlaps(other):
+                    raise ConfigurationError(
+                        "partition windows overlap: "
+                        f"[{window.at}, {window.heal_at}) and "
+                        f"[{other.at}, {other.heal_at})"
+                    )
 
     def build(self, shards: int = 1) -> Optional[FailureSchedule]:
-        """Construct the crash schedule, or ``None`` when no crashes are set."""
-        if not self.crashes:
+        """Construct the fault schedule, or ``None`` when no faults are set."""
+        if not (self.crashes or self.recoveries or self.partitions):
             return None
         schedule = FailureSchedule()
         for process, at in self.crashes:
             for pid in expand_process_names((process,), shards):
                 schedule.crash(pid, at)
+        for process, at in self.recoveries:
+            for pid in expand_process_names((process,), shards):
+                schedule.recover(pid, at)
+        for window in _coerce_partitions(self.partitions):
+            resolved = _partition_window(window, shards)
+            schedule.partition_window(
+                resolved.groups, at=resolved.at, heal_at=resolved.heal_at
+            )
         return schedule
 
 
+def _partition_window(window: PartitionSpec, shards: int):
+    from repro.sim.failures import PartitionWindow
+
+    return PartitionWindow(
+        groups=tuple(
+            expand_process_names(tuple(group), shards) for group in window.groups
+        ),
+        at=window.at,
+        heal_at=window.heal_at,
+    )
+
+
+# Deprecation shim: the pre-v2 name of the fault section.  ``FailureSpec(
+# crashes=...)`` keeps constructing, and ``failures.*`` override paths /
+# spec-file keys alias onto ``faults.*`` (see ScenarioSpec._aliases).
+FailureSpec = FaultSpec
+
+
 @dataclass(frozen=True)
-class TransferEvent:
+class TransferEvent(SpecSection):
     """A scheduled weight transfer: at ``at``, ``source`` sends ``delta`` to ``target``.
 
     ``shard`` selects which replica group executes the transfer in a sharded
@@ -388,20 +695,34 @@ class TransferEvent:
     delta: float
     shard: int = 0
 
+    def _validate(self) -> None:
+        if self.shard < 0:
+            raise ConfigurationError(
+                f"transfer shard indices are 0-based, got {self.shard}"
+            )
+
 
 @dataclass(frozen=True)
-class ScenarioSpec:
-    """A fully declarative experiment description."""
+class ScenarioSpec(SpecSection):
+    """A fully declarative experiment description (the root spec section)."""
 
     name: str
     description: str = ""
     cluster: ClusterSpec = ClusterSpec()
     workload: WorkloadSpec = WorkloadSpec()
     latency: LatencySpec = LatencySpec()
-    failures: FailureSpec = FailureSpec()
+    monitoring: MonitoringSpec = MonitoringSpec()
+    faults: FaultSpec = FaultSpec()
     transfers: Tuple[TransferEvent, ...] = ()
     seed: int = 0
     max_time: Optional[VirtualTime] = None
+
+    _non_sweepable = ("name", "description")
+    _aliases = {"failures": "faults"}
+
+    def _validate(self) -> None:
+        if not self.name:
+            raise ConfigurationError("scenario name must not be empty")
 
     def with_overrides(self, params: Optional[Mapping[str, Any]] = None) -> "ScenarioSpec":
         """Rebuild the spec with dotted-path overrides applied.
@@ -421,6 +742,8 @@ def _replace_path(obj: Any, full_key: str, parts: List[str], value: Any) -> Any:
         raise ConfigurationError(f"parameter path {full_key!r} descends into a non-spec value")
     field_names = {field.name for field in dataclasses.fields(obj)}
     head = parts[0]
+    if isinstance(obj, SpecSection):
+        head = type(obj)._aliases.get(head, head)
     if head not in field_names:
         raise ConfigurationError(
             f"unknown parameter {full_key!r}: {type(obj).__name__} has no field {head!r} "
@@ -434,34 +757,42 @@ def _replace_path(obj: Any, full_key: str, parts: List[str], value: Any) -> Any:
     return dataclasses.replace(obj, **{head: child})
 
 
-def _flatten_into(flat: Dict[str, Any], obj: Any, prefix: str) -> None:
-    for field in dataclasses.fields(obj):
-        value = getattr(obj, field.name)
-        key = f"{prefix}{field.name}"
-        if dataclasses.is_dataclass(value) and not isinstance(value, type):
-            _flatten_into(flat, value, f"{key}.")
-        else:
-            flat[key] = value
-
-
 def flatten_spec(spec: ScenarioSpec) -> Dict[str, Any]:
     """The sweepable parameters of a spec as a flat dotted-path dict.
 
-    Nested spec sections recurse to arbitrary depth, so the composable
-    workload axes come out as ``workload.keys.zipf_s``,
-    ``workload.arrivals.rate`` and so on.  Tuple-valued fields (transfers,
-    phases, crashes) stay single leaves.
+    A thin wrapper over the uniform :meth:`SpecSection.flatten` protocol
+    (kept for pre-v2 callers): nested spec sections recurse to arbitrary
+    depth, so the composable workload axes come out as
+    ``workload.keys.zipf_s``, the monitoring loop as
+    ``monitoring.policy.threshold`` and so on.  Tuple-valued fields
+    (transfers, phases, crashes) stay single leaves.
     """
-    flat: Dict[str, Any] = {}
-    for field in dataclasses.fields(spec):
-        if field.name in ("name", "description"):
-            continue
-        value = getattr(spec, field.name)
-        if dataclasses.is_dataclass(value) and not isinstance(value, type):
-            _flatten_into(flat, value, f"{field.name}.")
-        else:
-            flat[field.name] = value
-    return flat
+    return spec.flatten()
+
+
+def load_spec_file(path: str) -> ScenarioSpec:
+    """Load a :class:`ScenarioSpec` from a JSON spec file and validate it.
+
+    The file holds exactly the :meth:`ScenarioSpec.to_dict` shape (see
+    ``examples/specs/``); unknown keys are rejected, lists become tuples,
+    nested sections may use the positional shorthand (``"transfers":
+    [[5.0, "s1", "s2", 0.25]]``).
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as error:
+        raise ConfigurationError(f"cannot read spec file {path!r}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(
+            f"spec file {path!r} is not valid JSON: {error}"
+        ) from error
+    if not isinstance(data, dict):
+        raise ConfigurationError(
+            f"spec file {path!r} must contain a JSON object, "
+            f"got {type(data).__name__}"
+        )
+    return ScenarioSpec.from_dict(data).validate()
 
 
 def _summary_dict(summary: Optional[LatencySummary]) -> Optional[Dict[str, float]]:
@@ -504,21 +835,53 @@ def _coerce_phases(phases: Tuple[Any, ...]) -> Tuple[PhaseSpec, ...]:
     return tuple(coerced)
 
 
+def _coerce_partitions(partitions: Tuple[Any, ...]) -> Tuple[PartitionSpec, ...]:
+    # Overrides arriving from the CLI/JSON are plain sequences, not specs.
+    coerced = []
+    for entry in partitions:
+        if isinstance(entry, PartitionSpec):
+            coerced.append(entry)
+            continue
+        try:
+            at, groups = entry[0], entry[1]
+            heal_at = entry[2] if len(entry) > 2 else None
+            coerced.append(
+                PartitionSpec(
+                    at=at,
+                    groups=tuple(tuple(group) for group in groups),
+                    heal_at=heal_at,
+                )
+            )
+        except (TypeError, ValueError, IndexError) as error:
+            raise ConfigurationError(
+                f"invalid partition {entry!r}: expected "
+                "(at, ((pid, ...), ...)[, heal_at])"
+            ) from error
+    return tuple(coerced)
+
+
 def run_spec(spec: ScenarioSpec) -> Dict[str, Any]:
     """Execute a declarative scenario and return a JSON-serialisable result.
 
     The result always carries the latency summaries, message counts, transfer
-    outcomes and achieved workload statistics; sharded runs
+    outcomes and achieved workload statistics; monitoring-enabled runs add a
+    ``monitoring`` block (control rounds, transfers attempted); sharded runs
     (``cluster.shards > 1``) additionally report ``shards`` (per-shard
     load/latency breakdown), ``imbalance`` (hottest-shard share, max/mean
     ratio, load variance) and — for the dynamic-weighted flavour —
     ``shard_weights`` (each shard's independently evolving weight map).
     """
+    spec.validate()
     transfers = _coerce_transfers(spec.transfers)
     if transfers and spec.cluster.flavour != "dynamic-weighted":
         raise ConfigurationError(
             "scheduled transfers require the dynamic-weighted flavour, "
             f"got {spec.cluster.flavour!r}"
+        )
+    if spec.monitoring.enabled and spec.cluster.flavour != "dynamic-weighted":
+        raise ConfigurationError(
+            "monitoring-driven reassignment requires the dynamic-weighted "
+            f"flavour, got {spec.cluster.flavour!r}"
         )
     sharded = spec.cluster.shards > 1
     for event in transfers:
@@ -531,6 +894,11 @@ def run_spec(spec: ScenarioSpec) -> Dict[str, Any]:
     cluster = spec.cluster.build(
         config, spec.latency.build(seed=spec.seed, shards=spec.cluster.shards)
     )
+    # Monitoring installs before the workload generates or any transfer task
+    # spawns, matching the imperative scenarios' wiring order event-for-event.
+    harness: Optional[MonitoringHarness] = None
+    if spec.monitoring.enabled:
+        harness = spec.monitoring.build(cluster)
     workload = spec.workload.build(tuple(cluster.clients), seed=spec.seed)
 
     transfer_outcomes: List[Dict[str, Any]] = []
@@ -566,7 +934,7 @@ def run_spec(spec: ScenarioSpec) -> Dict[str, Any]:
     report = run_workload(
         cluster,
         workload,
-        failures=spec.failures.build(shards=spec.cluster.shards),
+        failures=spec.faults.build(shards=spec.cluster.shards),
         max_time=spec.max_time,
     )
     cluster.loop.run()  # let trailing transfers / broadcast echoes settle
@@ -584,6 +952,8 @@ def run_spec(spec: ScenarioSpec) -> Dict[str, Any]:
         "transfers": transfer_outcomes,
         "workload": workload_stats(workload),
     }
+    if harness is not None:
+        result["monitoring"] = harness.as_dict(sharded=sharded)
     if sharded:
         result["shards"] = [summary.as_dict() for summary in report.shards or ()]
         if report.imbalance is not None:

@@ -10,9 +10,12 @@ Three expansion modes:
 
 * :func:`expand_grid` / :meth:`Sweep.runs` — the full cartesian product;
 * :func:`expand_points` — an explicit list of parameter points (no product);
-* :meth:`Sweep.sample` — ``n`` distinct points drawn without replacement
-  from the product with a seeded RNG, for high-dimensional spaces where the
-  full grid is unaffordable.
+* :meth:`Sweep.sample` — ``n`` points drawn from the product with a seeded
+  RNG, for high-dimensional spaces where the full grid is unaffordable.
+  ``method="uniform"`` (the default) draws distinct points uniformly without
+  replacement; ``method="lhs"`` draws a Latin-hypercube sample whose
+  *marginals* are stratified — every axis's value list is covered as evenly
+  as ``n`` allows, which uniform sampling only achieves in expectation.
 
 Expansion is fully deterministic: axes are ordered by name, values keep
 their given order, sampled points come out in grid order, and every produced
@@ -130,14 +133,22 @@ class Sweep:
             result.append(self._run(params))
         return result
 
-    def sample(self, n: int, seed: int = 0) -> List[RunSpec]:
-        """``n`` distinct grid points, drawn without replacement with ``seed``.
+    def sample(self, n: int, seed: int = 0, method: str = "uniform") -> List[RunSpec]:
+        """``n`` grid points drawn with ``seed``; ``method`` picks the design.
 
-        The chosen points are returned in grid order (so serial and parallel
+        ``uniform`` draws distinct points without replacement; ``lhs`` draws
+        a Latin-hypercube sample (see :meth:`sample_lhs`).  Either way the
+        chosen points are returned in grid order (so serial and parallel
         executions line up run-for-run); ``n >= size`` degenerates to the
         full grid.  The grid itself is never materialised — points are
         decoded from sampled indices — so huge spaces sample cheaply.
         """
+        if method == "lhs":
+            return self.sample_lhs(n, seed=seed)
+        if method != "uniform":
+            raise ConfigurationError(
+                f"unknown sample method {method!r}; expected uniform or lhs"
+            )
         if n < 1:
             raise ConfigurationError(f"sample size must be at least 1, got {n}")
         total = self.size
@@ -146,6 +157,36 @@ class Sweep:
         rng = random.Random(seed)
         indices = sorted(rng.sample(range(total), n))
         return [self._run(self._point(index)) for index in indices]
+
+    def sample_lhs(self, n: int, seed: int = 0) -> List[RunSpec]:
+        """A seeded Latin-hypercube sample of ``n`` points, in grid order.
+
+        Each axis's value list is cut into ``n`` equal strata (value index
+        ``(row * len(values)) // n``) and the strata are permuted per axis
+        independently, so every axis's marginal is covered as evenly as
+        ``n`` allows — an axis with ``m <= n`` values is guaranteed to have
+        every value appear, which uniform sampling only achieves in
+        expectation.  Rows that collide on *every* axis collapse, so the
+        result can hold slightly fewer than ``n`` points; ``n >= size``
+        degenerates to the full grid.
+        """
+        if n < 1:
+            raise ConfigurationError(f"sample size must be at least 1, got {n}")
+        if n >= self.size:
+            return self.runs()
+        rng = random.Random(seed)
+        offset_columns: List[List[int]] = []
+        for _, values in self.axes:  # axes are sorted by name; order is stable
+            offsets = [(row * len(values)) // n for row in range(n)]
+            rng.shuffle(offsets)
+            offset_columns.append(offsets)
+        indices = []
+        for row in range(n):
+            index = 0
+            for (_, values), offsets in zip(self.axes, offset_columns):
+                index = index * len(values) + offsets[row]
+            indices.append(index)
+        return [self._run(self._point(index)) for index in sorted(set(indices))]
 
 
 def expand_grid(

@@ -14,6 +14,9 @@ by a monitoring system".  This package supplies that missing piece:
 * :mod:`repro.monitoring.controller` — drives the paper's ``transfer``
   operation towards the targets, respecting C1/C2 (each server only ever
   gives its *own* weight away, and only down to the RP-Integrity bound).
+* :mod:`repro.monitoring.loop` — wires monitor + policy + controllers into
+  one running feedback loop (the form the declarative ``MonitoringSpec``
+  section and the catalogue scenarios both build).
 """
 
 from repro.monitoring.monitor import LatencyMonitor, install_probe_responder
@@ -23,6 +26,7 @@ from repro.monitoring.policy import (
     clip_to_rp_integrity,
 )
 from repro.monitoring.controller import WeightController
+from repro.monitoring.loop import install_monitoring_control
 
 __all__ = [
     "LatencyMonitor",
@@ -31,4 +35,5 @@ __all__ = [
     "wheat_style_weights",
     "clip_to_rp_integrity",
     "WeightController",
+    "install_monitoring_control",
 ]

@@ -1,0 +1,79 @@
+"""The probe → policy → controller feedback loop.
+
+:func:`install_monitoring_control` wires one complete monitoring loop over a
+set of servers and starts it: every ``interval`` a dedicated prober pings the
+servers, a :class:`~repro.monitoring.monitor.LatencyMonitor` folds the reply
+latencies into its EWMA summary, the configured policy turns the summary into
+target weights, and each server's :class:`~repro.monitoring.controller.
+WeightController` takes one RP-Integrity-preserving step towards them.
+
+This is the loop the ``hotspot-shift-monitoring`` and
+``sharded-hotspot-reassignment`` scenarios always ran; it now lives here so
+the declarative :class:`~repro.experiments.spec.MonitoringSpec` section and
+imperative scenarios share one implementation (and one event ordering — the
+checked-in baselines depend on it).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping
+
+from repro.core.spec import SystemConfig
+from repro.monitoring.controller import WeightController
+from repro.monitoring.monitor import LatencyMonitor, install_probe_responder
+from repro.monitoring.policy import proportional_inverse_latency_weights
+from repro.net.network import Network
+from repro.net.process import Process
+from repro.net.simloop import SimLoop
+from repro.types import ProcessId, VirtualTime, Weight
+
+__all__ = ["PolicyFn", "install_monitoring_control"]
+
+# A policy maps the monitor's latency summary plus the system config to
+# target weights (see repro.monitoring.policy for the built-in schemes).
+PolicyFn = Callable[[Mapping[ProcessId, VirtualTime], SystemConfig], Dict[ProcessId, Weight]]
+
+
+def install_monitoring_control(
+    loop: SimLoop,
+    network: Network,
+    servers: Mapping[ProcessId, Any],
+    config: SystemConfig,
+    prober_pid: ProcessId,
+    rounds: int,
+    interval: VirtualTime,
+    tolerance: Weight,
+    max_step: Weight,
+    window: int = 32,
+    ewma_alpha: float = 0.3,
+    policy: PolicyFn = proportional_inverse_latency_weights,
+) -> List[WeightController]:
+    """Wire one probe/policy/controller loop over ``servers`` and start it.
+
+    Every ``interval`` the prober pings the servers, ``policy`` turns the
+    monitor's EWMA summary into target weights, and each server's
+    :class:`WeightController` takes one step towards them (``tolerance``
+    dead-bands negligible deficits, ``max_step`` caps the weight moved per
+    step).  Returns the controllers so callers can inspect the attempted
+    transfers.
+    """
+    for server in servers.values():
+        install_probe_responder(server)
+    prober = Process(prober_pid, network)
+    monitor = LatencyMonitor(config.servers, window=window, ewma_alpha=ewma_alpha)
+    controllers = [
+        WeightController(server, tolerance=tolerance, max_step=max_step)
+        for server in servers.values()
+    ]
+
+    async def control_loop() -> None:
+        for _ in range(rounds):
+            await loop.sleep(interval)
+            await monitor.probe(prober)
+            targets = policy(monitor.summary(default=1.0), config)
+            for controller in controllers:
+                controller.set_targets(targets)
+                await controller.step()
+
+    loop.create_task(control_loop(), name=f"monitoring-control:{prober_pid}")
+    return controllers

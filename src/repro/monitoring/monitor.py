@@ -77,13 +77,25 @@ class LatencyMonitor:
     async def probe(self, prober: Process, timeout: Optional[VirtualTime] = None) -> Dict[ProcessId, VirtualTime]:
         """Ping every server from ``prober`` and record the reply latencies.
 
-        Servers that do not answer (crashed, partitioned) simply contribute no
-        sample; ``timeout`` bounds how long the probe waits after the first
-        ``len(servers) - 1`` replies would normally have arrived.
+        The probe waits only for the servers still alive — the count is
+        re-evaluated on every reply, so a crash landing mid-probe unblocks
+        the wait as soon as the next reply arrives (a crashed server's
+        replies never come, while a slowed server's late replies *are* the
+        signal, so neither a full wait nor a short timeout would do).
+        Crashed or partitioned servers simply contribute no sample.
+        Residual edge: a crash whose victim held the *only* outstanding
+        reply stalls the probe until ``timeout`` (if given) fires — pass a
+        timeout when probing under crash faults.
         """
         started = prober.loop.now
+        network = prober.network
         collector = prober.request_all(self.servers, PING, {})
-        waiter = collector.wait_for_count(len(self.servers))
+        waiter = collector.wait_until(
+            lambda replies: len(replies) >= sum(
+                1 for server in self.servers if not network.is_crashed(server)
+            ),
+            name="alive-replies",
+        )
         if timeout is not None:
             waiter = prober.loop.timeout(waiter, timeout)
         try:

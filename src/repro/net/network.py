@@ -11,6 +11,8 @@ Fault injection:
 * :meth:`Network.crash` — crash-stop a process.  Crashed processes neither
   send nor receive; messages already in flight towards them are silently
   discarded on delivery (an acceptable refinement of crash-stop semantics).
+* :meth:`Network.recover` — un-crash a process (the crash-recovery model:
+  it rejoins with its state intact; traffic during the outage was lost).
 * :meth:`Network.partition` / :meth:`Network.heal` — temporarily hold
   messages crossing a partition boundary.  Because the system is
   asynchronous, a partition is indistinguishable from very slow links; the
@@ -82,6 +84,18 @@ class Network:
         """Crash-stop ``pid``: it stops sending and receiving forever."""
         self.get_process(pid)  # validates existence
         self._crashed.add(pid)
+
+    def recover(self, pid: ProcessId) -> None:
+        """Un-crash ``pid``: it rejoins with its pre-crash state intact.
+
+        This models the crash-*recovery* variant where a process resumes from
+        durable state: messages sent to it while down were dropped (not
+        queued), so to its peers the outage is indistinguishable from a long
+        partition, which the asynchronous protocols tolerate by design.
+        A no-op for processes that never crashed.
+        """
+        self.get_process(pid)  # validates existence
+        self._crashed.discard(pid)
 
     def is_crashed(self, pid: ProcessId) -> bool:
         return pid in self._crashed

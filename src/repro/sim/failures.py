@@ -1,21 +1,60 @@
-"""Failure schedules: crashes at given virtual times.
+"""Failure schedules: crashes, recoveries and partition windows in virtual time.
+
+A :class:`FailureSchedule` is the runtime form of the declarative ``faults``
+spec section: a set of timed fault-injection events that :meth:`FailureSchedule.
+arm` schedules on the simulation loop before a run starts.
+
+Three event kinds are supported:
+
+* :class:`CrashEvent` — crash-stop a process at a virtual time;
+* :class:`RecoverEvent` — un-crash it later (the crash-recovery model:
+  the process rejoins with its state intact, traffic during the outage was
+  dropped);
+* :class:`PartitionWindow` — split the processes into groups at ``at`` and
+  heal at ``heal_at`` (or never, when ``heal_at`` is ``None``); messages
+  crossing the boundary are held and released in order on heal, so links
+  stay reliable.
 
 Slowdowns are expressed through :class:`repro.net.latency.SlowdownLatency`
-(they are a property of the links, not an event), so this module only deals
-with crash-stop events.
+(they are a property of the links, not an event), so they stay out of this
+module.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.net.network import Network
 from repro.net.simloop import SimLoop
 from repro.types import ProcessId, VirtualTime
 
-__all__ = ["CrashEvent", "FailureSchedule"]
+__all__ = [
+    "CrashEvent",
+    "RecoverEvent",
+    "PartitionWindow",
+    "FailureSchedule",
+    "windows_overlap",
+]
+
+
+def windows_overlap(
+    first_at: VirtualTime,
+    first_heal_at: Optional[VirtualTime],
+    second_at: VirtualTime,
+    second_heal_at: Optional[VirtualTime],
+) -> bool:
+    """Whether two ``[at, heal_at)`` windows are live at the same time.
+
+    ``heal_at=None`` means the window never closes.  The single source of
+    the overlap rule: both the runtime :class:`PartitionWindow` and the
+    declarative ``PartitionSpec`` section delegate here, so the spec-level
+    validation and the schedule-level enforcement cannot drift.
+    """
+    first_end = float("inf") if first_heal_at is None else first_heal_at
+    second_end = float("inf") if second_heal_at is None else second_heal_at
+    return first_at < second_end and second_at < first_end
 
 
 @dataclass(frozen=True)
@@ -26,11 +65,39 @@ class CrashEvent:
     at: VirtualTime
 
 
+@dataclass(frozen=True)
+class RecoverEvent:
+    """Un-crash ``process`` at virtual time ``at`` (crash-recovery model)."""
+
+    process: ProcessId
+    at: VirtualTime
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """Partition the network into ``groups`` during ``[at, heal_at)``.
+
+    Processes not listed in any group form an implicit extra group (so
+    clients omitted from every group are cut off from all of them).  An
+    open-ended window (``heal_at is None``) never heals.
+    """
+
+    groups: Tuple[Tuple[ProcessId, ...], ...]
+    at: VirtualTime
+    heal_at: Optional[VirtualTime] = None
+
+    def overlaps(self, other: "PartitionWindow") -> bool:
+        """Whether two windows are live at the same time (heal() is global)."""
+        return windows_overlap(self.at, self.heal_at, other.at, other.heal_at)
+
+
 @dataclass
 class FailureSchedule:
-    """A set of crash events that can be armed on a network."""
+    """A set of timed fault-injection events that can be armed on a network."""
 
     events: List[CrashEvent] = field(default_factory=list)
+    recoveries: List[RecoverEvent] = field(default_factory=list)
+    partitions: List[PartitionWindow] = field(default_factory=list)
 
     def crash(self, process: ProcessId, at: VirtualTime) -> "FailureSchedule":
         """Add a crash event (fluent style)."""
@@ -39,13 +106,108 @@ class FailureSchedule:
         self.events.append(CrashEvent(process=process, at=at))
         return self
 
+    def recover(self, process: ProcessId, at: VirtualTime) -> "FailureSchedule":
+        """Add a recovery event (fluent style)."""
+        if at < 0:
+            raise ConfigurationError("recovery times must be non-negative")
+        self.recoveries.append(RecoverEvent(process=process, at=at))
+        return self
+
+    def partition_window(
+        self,
+        groups: Iterable[Iterable[ProcessId]],
+        at: VirtualTime,
+        heal_at: Optional[VirtualTime] = None,
+    ) -> "FailureSchedule":
+        """Add a partition window (fluent style).
+
+        Windows must not overlap in time: :meth:`Network.heal` removes *the*
+        partition, so two live windows would heal each other.
+        """
+        if at < 0:
+            raise ConfigurationError("partition times must be non-negative")
+        if heal_at is not None and heal_at <= at:
+            raise ConfigurationError(
+                f"partition heal_at={heal_at} must be after at={at}"
+            )
+        window = PartitionWindow(
+            groups=tuple(tuple(group) for group in groups), at=at, heal_at=heal_at
+        )
+        if not window.groups:
+            raise ConfigurationError("a partition window needs at least one group")
+        for existing in self.partitions:
+            if window.overlaps(existing):
+                raise ConfigurationError(
+                    f"partition windows overlap: [{existing.at}, "
+                    f"{existing.heal_at}) and [{window.at}, {window.heal_at})"
+                )
+        self.partitions.append(window)
+        return self
+
     def crashed_by(self, time: VirtualTime) -> Sequence[ProcessId]:
-        return tuple(event.process for event in self.events if event.at <= time)
+        """Processes crashed at or before ``time`` and not yet recovered.
+
+        Crash and recovery events are replayed in time order (a crash at the
+        same instant as a recovery wins), matching what :meth:`arm` produces
+        on the simulation — so crash → recover → crash leaves the process
+        down.
+        """
+        # Replay: recoveries sort before crashes at equal times, so a
+        # same-instant crash is applied last and wins.
+        timeline = sorted(
+            [(event.at, 0, event.process) for event in self.recoveries
+             if event.at <= time]
+            + [(event.at, 1, event.process) for event in self.events
+               if event.at <= time]
+        )
+        down = set()
+        for _, is_crash, process in timeline:
+            if is_crash:
+                down.add(process)
+            else:
+                down.discard(process)
+        reported = []
+        for event in self.events:
+            if event.at <= time and event.process in down:
+                reported.append(event.process)
+                down.discard(event.process)  # report each process once
+        return tuple(reported)
 
     def arm(self, loop: SimLoop, network: Network) -> None:
-        """Schedule every crash event on the loop."""
-        for event in self.events:
-            loop.call_at(event.at, lambda pid=event.process: network.crash(pid))
+        """Schedule every fault-injection event on the loop.
+
+        Events are scheduled in chronological order with recoveries before
+        crashes (and heals before partitions) at equal times, so same-time
+        loop events — which run in scheduling order — resolve exactly the
+        way :meth:`crashed_by` replays them: a same-instant crash+recover
+        leaves the process down, and a window healing at the instant the
+        next one starts cannot tear the new partition down.
+        """
+        fates = sorted(
+            [(event.at, 0, event.process) for event in self.recoveries]
+            + [(event.at, 1, event.process) for event in self.events],
+            key=lambda fate: fate[:2],
+        )
+        for at, is_crash, process in fates:
+            if is_crash:
+                loop.call_at(at, lambda pid=process: network.crash(pid))
+            else:
+                loop.call_at(at, lambda pid=process: network.recover(pid))
+        boundaries = []
+        for window in self.partitions:
+            boundaries.append((window.at, 1, window.groups))
+            if window.heal_at is not None:
+                boundaries.append((window.heal_at, 0, ()))
+        for at, is_partition, groups in sorted(boundaries, key=lambda b: b[:2]):
+            if is_partition:
+                loop.call_at(at, lambda g=groups: network.partition(g))
+            else:
+                loop.call_at(at, network.heal)
 
     def max_simultaneous_crashes(self) -> int:
-        return len({event.process for event in self.events})
+        """Peak number of distinct processes down at once (recoveries counted)."""
+        times = sorted(
+            {event.at for event in self.events}
+            | {event.at for event in self.recoveries}
+        )
+        return max((len(set(self.crashed_by(at))) for at in times), default=0)

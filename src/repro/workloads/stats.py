@@ -49,14 +49,26 @@ def workload_stats(workload: Workload) -> Dict[str, Any]:
     remainders = total - logical_total
 
     think_times = [op.issue_after for op in carriers if op.issue_at is None]
-    arrivals_by_client: Dict[str, List[float]] = defaultdict(list)
-    for op in carriers:
+    # Interarrival gaps need the per-client arrival sequence in issue order.
+    # Operation lists are not guaranteed to be time-sorted — a merged or
+    # hand-edited trace, or phases flipping mid-batch, can interleave equal
+    # issue_at values out of list order — so sort each client's carriers by
+    # the stable (issue_at, batch_id, batch_index) key instead of trusting
+    # list position (time-ordered inputs are unchanged: equal issue_at ties
+    # keep their per-client batch order).
+    arrivals_by_client: Dict[str, List[tuple]] = defaultdict(list)
+    for index, op in enumerate(carriers):
         if op.issue_at is not None:
-            arrivals_by_client[op.client].append(op.issue_at)
+            order = op.batch_id if op.batch_id is not None else index
+            arrivals_by_client[op.client].append(
+                (op.issue_at, order, op.batch_index)
+            )
     gaps: List[float] = []
     makespan = 0.0
     open_loop_ops = 0
-    for times in arrivals_by_client.values():
+    for entries in arrivals_by_client.values():
+        entries.sort()
+        times = [entry[0] for entry in entries]
         open_loop_ops += len(times)
         makespan = max(makespan, times[-1])
         gaps.extend(b - a for a, b in zip(times, times[1:]))

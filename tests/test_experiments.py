@@ -171,7 +171,7 @@ class TestScenarioSpec:
             workload=WorkloadSpec(
                 operations_per_client=5, arrivals=ArrivalSpec(mean_think_time=2.0)
             ),
-            failures=FailureSpec(crashes=(("s5", 4.0),)),
+            faults=FailureSpec(crashes=(("s5", 4.0),)),
             # Stay above the RP-Integrity bound W_{S,0}/(2(n-f)) = 5/6.
             transfers=(TransferEvent(at=2.0, source="s1", target="s2", delta=0.15),),
             max_time=10_000.0,
@@ -414,6 +414,69 @@ class TestSweepSampling:
             expand_points("demo", points=[])
         with pytest.raises(ConfigurationError, match="mapping"):
             expand_points("demo", points=["cluster.n=5"])
+
+
+class TestLatinHypercubeSampling:
+    GRID = {"cluster.n": [3, 4, 5, 6, 7, 8, 9, 10], "seed": [0, 1, 2, 3, 4, 5, 6, 7]}
+
+    def test_lhs_marginals_cover_every_axis_value(self):
+        # With n == len(values) per axis, LHS strata are a permutation, so
+        # every axis value appears exactly once — the stratification uniform
+        # sampling only achieves in expectation.
+        sweep = Sweep.of("demo", grid=self.GRID)
+        runs = sweep.sample(8, seed=0, method="lhs")
+        assert len(runs) == 8
+        for axis, values in self.GRID.items():
+            marginal = sorted(run.params_dict[axis] for run in runs)
+            assert marginal == sorted(values)
+
+    def test_lhs_stratifies_where_uniform_does_not(self):
+        # Seed 0 makes the comparison concrete: the uniform draw of 8 points
+        # from the 64-point grid misses several axis values; LHS misses none.
+        sweep = Sweep.of("demo", grid=self.GRID)
+        uniform = sweep.sample(8, seed=0, method="uniform")
+        uniform_ns = {run.params_dict["cluster.n"] for run in uniform}
+        assert len(uniform_ns) < len(self.GRID["cluster.n"])
+        lhs_ns = {run.params_dict["cluster.n"]
+                  for run in sweep.sample(8, seed=0, method="lhs")}
+        assert lhs_ns == set(self.GRID["cluster.n"])
+
+    def test_lhs_is_seeded_and_deterministic(self):
+        sweep = Sweep.of("demo", grid=self.GRID)
+        assert sweep.sample(6, seed=7, method="lhs") == sweep.sample(
+            6, seed=7, method="lhs"
+        )
+        assert sweep.sample(6, seed=7, method="lhs") != sweep.sample(
+            6, seed=8, method="lhs"
+        )
+
+    def test_lhs_points_are_grid_points_in_grid_order(self):
+        sweep = Sweep.of("demo", grid=self.GRID)
+        full = sweep.runs()
+        sampled = sweep.sample(5, seed=3, method="lhs")
+        positions = [full.index(run) for run in sampled]
+        assert positions == sorted(positions)
+
+    def test_lhs_keeps_base_params_and_degenerates_to_full_grid(self):
+        sweep = Sweep.of("demo", grid={"seed": [0, 1, 2]}, base={"cluster.n": 7})
+        for run in sweep.sample(2, seed=0, method="lhs"):
+            assert run.params_dict["cluster.n"] == 7
+        assert sweep.sample(100, seed=0, method="lhs") == sweep.runs()
+
+    def test_lhs_covers_short_axes_fully_when_n_exceeds_them(self):
+        # An axis shorter than n still has every value appear (repeatedly).
+        sweep = Sweep.of("demo", grid={"cluster.n": [4, 5],
+                                       "seed": [0, 1, 2, 3, 4, 5]})
+        runs = sweep.sample(6, seed=1, method="lhs")
+        assert {run.params_dict["cluster.n"] for run in runs} == {4, 5}
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigurationError, match="sample method"):
+            Sweep.of("demo", grid=self.GRID).sample(4, method="sobol")
+
+    def test_invalid_lhs_sample_size_rejected(self):
+        with pytest.raises(ConfigurationError, match="sample size"):
+            Sweep.of("demo", grid=self.GRID).sample_lhs(0)
 
 
 # ---------------------------------------------------------------------------

@@ -315,6 +315,40 @@ class TestWorkloadStats:
         assert len(batches) == 5
         assert all(indices == [0, 1] for indices in batches.values())
 
+    def test_arrival_stats_are_independent_of_operation_list_order(self):
+        # Regression: arrival gaps/makespan trusted the operation list order,
+        # so a merged or hand-edited trace with issue_at ties (phases flipping
+        # mid-batch) produced negative gaps and a wrong makespan.  Stats now
+        # sort per client on the stable (issue_at, batch_id, batch_index) key.
+        def op(batch_id, issue_at, batch_index=0):
+            return Operation(client="c1", kind="read", value=None,
+                             issue_at=issue_at, key="k1",
+                             batch_id=batch_id, batch_index=batch_index)
+
+        ordered = [op(0, 1.0), op(1, 3.0), op(2, 3.0), op(3, 8.0)]
+        # The same logical workload, interleaved out of list order with an
+        # issue_at tie between batches 1 and 2.
+        shuffled = [ordered[3], ordered[2], ordered[0], ordered[1]]
+        expected = workload_stats(Workload(operations=list(ordered)))
+        scrambled = workload_stats(Workload(operations=shuffled))
+        assert scrambled["arrivals"] == expected["arrivals"]
+        assert scrambled["arrivals"]["mean_interarrival"] == pytest.approx(7.0 / 3)
+        # Makespan (and thus offered rate) uses the true last arrival.
+        assert scrambled["arrivals"]["offered_rate"] == pytest.approx(4 / 8.0)
+
+    def test_issue_at_ties_keep_stable_batch_order(self):
+        # Equal issue_at values must order by (batch_id, batch_index), so the
+        # gap sequence is deterministic regardless of how ties entered the
+        # list.
+        def op(batch_id, issue_at):
+            return Operation(client="c1", kind="read", value=None,
+                             issue_at=issue_at, key="k1", batch_id=batch_id)
+
+        tied = [op(1, 5.0), op(0, 5.0), op(2, 6.0)]
+        stats = workload_stats(Workload(operations=tied))
+        assert stats["arrivals"]["mean_interarrival"] == pytest.approx(0.5)
+        assert stats["arrivals"]["offered_rate"] == pytest.approx(3 / 6.0)
+
 
 # ---------------------------------------------------------------------------
 # Trace record / replay
