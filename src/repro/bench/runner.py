@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import json
 import os
+import platform
+import subprocess
 import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
@@ -31,6 +33,7 @@ __all__ = [
     "run_benchmarks",
     "trajectory_path",
     "append_trajectory",
+    "provenance",
     "write_results_json",
     "load_results_json",
     "compare_results",
@@ -51,13 +54,46 @@ def trajectory_path(name: str, out_dir: str = ".") -> str:
     return os.path.join(out_dir, f"BENCH_{name}.json")
 
 
+def _git_sha() -> Optional[str]:
+    """The current git commit SHA, or ``None`` outside a checkout."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if completed.returncode != 0:
+        return None
+    sha = completed.stdout.strip()
+    return sha or None
+
+
+def provenance() -> Dict[str, Any]:
+    """Environment provenance stamped onto each trajectory record.
+
+    Wall-time history is only interpretable against the environment that
+    produced it: a "regression" that coincides with an interpreter upgrade
+    or a different host is a different conversation than one on identical
+    provenance.  ``git_sha`` is ``None`` when the benchmark runs from an
+    sdist or other non-git tree.
+    """
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "git_sha": _git_sha(),
+    }
+
+
 def append_trajectory(result: BenchResult, out_dir: str = ".") -> str:
     """Append one run record to the benchmark's trajectory file.
 
     Creates the file (and ``out_dir``) on first use; returns the path.  The
-    record carries a wall-clock timestamp — trajectories are *history*, not
-    baselines, so unlike result payloads they are allowed to be
-    non-reproducible byte-for-byte.
+    record carries a wall-clock timestamp and environment provenance
+    (python version, platform string, git SHA) — trajectories are
+    *history*, not baselines, so unlike result payloads they are allowed
+    to be non-reproducible byte-for-byte.
     """
     os.makedirs(out_dir, exist_ok=True)
     path = trajectory_path(result.name, out_dir)
@@ -73,6 +109,7 @@ def append_trajectory(result: BenchResult, out_dir: str = ".") -> str:
         payload.setdefault("runs", [])
     record = result.as_dict()
     record["timestamp"] = time.time()
+    record["provenance"] = provenance()
     payload["runs"].append(record)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

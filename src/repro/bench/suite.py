@@ -1,11 +1,18 @@
 """The built-in microbenchmark suite.
 
-Four benchmarks, one per layer of the hot path:
+Five benchmarks — one per layer of the hot path, plus an instrumented
+twin of the kernel benchmark:
 
 * ``event-loop`` — pure kernel dispatch: tasks ping-ponging through
   zero-delay sleeps and queue handoffs, no network.  This is the benchmark
   the ready-deque fast path targets; its events/sec is the kernel's
   dispatch throughput ceiling.
+* ``event-loop-obs`` — the same workload with a metrics-collecting
+  :class:`~repro.obs.Observer` installed.  Comparing its events/sec
+  against ``event-loop`` measures the *enabled* observability overhead;
+  the disabled overhead is gated separately (the plain ``event-loop``
+  benchmark runs the untouched dispatch loop — ``SimLoop`` checks for an
+  observer once per ``run`` call, not per event).
 * ``abd-round`` — protocol traffic: closed-loop read/write rounds of the
   classical ABD register over a majority quorum system, exercising the
   network send/deliver path, response collectors and latency summaries.
@@ -57,6 +64,40 @@ def bench_event_loop(quick: bool) -> Mapping[str, Any]:
         "events": loop.events_processed,
         "ops": tasks * iterations * 2,  # two awaits per iteration
         "counters": {"tasks": tasks, "iterations": iterations},
+    }
+
+
+@benchmark("event-loop-obs", "kernel dispatch with a metrics observer installed")
+def bench_event_loop_obs(quick: bool) -> Mapping[str, Any]:
+    from repro.obs import Observer, observing
+
+    tasks, iterations = (10, 200) if quick else (50, 400)
+    observer = Observer(metrics=True, trace=False)
+    with observing(observer):
+        loop = SimLoop()
+        queue = Queue()
+
+        async def worker(index: int) -> None:
+            for i in range(iterations):
+                await loop.sleep(0)
+                queue.put(index * iterations + i)
+                await queue.get()
+
+        loop.run_until_complete(gather(loop, [worker(t) for t in range(tasks)]))
+    registry = observer.metrics
+    assert registry is not None
+    counters = registry.as_dict()["counters"]
+    # The dispatch split is part of the deterministic gate: a change here
+    # means the ready-deque fast path's hit pattern moved.
+    return {
+        "events": loop.events_processed,
+        "ops": tasks * iterations * 2,  # two awaits per iteration
+        "counters": {
+            "tasks": tasks,
+            "iterations": iterations,
+            "ready_dispatches": counters["kernel.ready_dispatches"],
+            "heap_dispatches": counters["kernel.heap_dispatches"],
+        },
     }
 
 

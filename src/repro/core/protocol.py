@@ -208,6 +208,9 @@ class ReassignmentServer(Process):
         self._transfer_in_progress = True
         started_at = self.loop.now
         counter = self.lc
+        obs = self.network.obs
+        if obs is not None:
+            obs.transfer_started(self.pid, target, delta, started_at)
         try:
             if self.can_transfer(delta):
                 source_change = Change(self.pid, counter, self.pid, -delta)
@@ -242,6 +245,15 @@ class ReassignmentServer(Process):
             self.lc += 1
             self._transfer_in_progress = False
         self.transfer_log.append(outcome)
+        if obs is not None:
+            obs.transfer_completed(
+                self.pid,
+                target,
+                delta,
+                outcome.effective,
+                outcome.latency,
+                outcome.completed_at,
+            )
         return outcome
 
 
@@ -256,6 +268,9 @@ async def read_changes(
     """
     if server not in config.servers:
         raise ConfigurationError(f"unknown server {server!r}")
+    obs = process.network.obs
+    if obs is not None:
+        obs.read_changes_round(process.pid)
 
     read_collector = process.request_all(config.servers, RC, {"server": server})
     replies = await read_collector.wait_for_count(config.f + 1)

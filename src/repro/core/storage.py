@@ -113,6 +113,9 @@ async def _read_write(
     started_at = process.loop.now
     restarts = 0
     half_total = config.total_initial_weight / 2
+    obs = process.network.obs
+    if obs is not None:
+        obs.operation_started("storage", process.pid, kind, started_at)
 
     while True:
         known = view.current_changes()
@@ -140,7 +143,19 @@ async def _read_write(
         if news:
             await view.merge_changes(news)
             restarts += 1
+            if obs is not None:
+                obs.operation_restarted(
+                    "storage", process.pid, kind, process.loop.now
+                )
             continue
+        if obs is not None:
+            obs.quorum_phase(
+                "storage",
+                process.pid,
+                "phase1",
+                len({reply.sender for reply in replies}),
+                process.loop.now,
+            )
 
         max_reply = max(replies, key=lambda reply: reply.payload["stored"].tag)
         max_stored: StoredValue = max_reply.payload["stored"]
@@ -164,8 +179,26 @@ async def _read_write(
         if news:
             await view.merge_changes(news)
             restarts += 1
+            if obs is not None:
+                obs.operation_restarted(
+                    "storage", process.pid, kind, process.loop.now
+                )
             continue
 
+        contacted = len({reply.sender for reply in replies})
+        if obs is not None:
+            obs.quorum_phase(
+                "storage", process.pid, "phase2", contacted, process.loop.now
+            )
+            obs.operation_completed(
+                "storage",
+                process.pid,
+                kind,
+                process.loop.now,
+                restarts,
+                contacted,
+                process.loop.now - started_at,
+            )
         return OperationRecord(
             kind=kind,
             value=value_to_write,
@@ -173,7 +206,7 @@ async def _read_write(
             started_at=started_at,
             completed_at=process.loop.now,
             restarts=restarts,
-            contacted=len({reply.sender for reply in replies}),
+            contacted=contacted,
         )
 
 
@@ -198,6 +231,10 @@ class DynamicWeightedStorageServer(ReassignmentServer, _ChangeView):
         super().__init__(pid, network, config)
         self.stored = StoredValue.initial()
         self._op_counter = [0]
+        # Live nesting depth of on_weight_gained refreshes; reported to the
+        # observer so the known recursion (see the docstring below) is
+        # measurable without hitting the interpreter's stack limit.
+        self._refresh_depth = 0
         self.register_handler(R, self._on_read_phase)
         self.register_handler(W, self._on_write_phase)
 
@@ -227,11 +264,21 @@ class DynamicWeightedStorageServer(ReassignmentServer, _ChangeView):
         recursion (e.g. a re-entrancy guard that lets the in-flight read's
         restart cover the nested gain) changes the refresh message pattern
         and therefore every churn-heavy baseline; it is left for a dedicated
-        change rather than riding along with a kernel refactor.
+        change rather than riding along with a kernel refactor.  The observer
+        hook below *measures* the nesting depth (counter
+        ``storage.weight_gain_refreshes``, gauge
+        ``storage.weight_gain_refresh_depth``) without changing it.
         """
-        record = await _read_write(
-            self, self.config, self, self._op_counter, value=None, is_write=False
-        )
+        self._refresh_depth += 1
+        obs = self.network.obs
+        if obs is not None:
+            obs.weight_gain_refresh(self.pid, self._refresh_depth, self.loop.now)
+        try:
+            record = await _read_write(
+                self, self.config, self, self._op_counter, value=None, is_write=False
+            )
+        finally:
+            self._refresh_depth -= 1
         if self.stored.tag < record.tag:
             self.stored = StoredValue(tag=record.tag, value=record.value)
 

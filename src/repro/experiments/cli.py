@@ -32,6 +32,8 @@ import argparse
 import ast
 import json
 import multiprocessing
+import os
+import re
 import sys
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -170,7 +172,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
     params = _parse_params(args.param)
     scenario = _resolve_scenario(args)
     run = RunSpec(scenario=scenario, params=tuple(sorted(params.items())))
-    results = execute_many([run], workers=1)
+    if not args.trace and not args.metrics:
+        results = execute_many([run], workers=1)
+        _emit(results, args)
+        return 0
+
+    # Ambient observer around the in-process executor: works uniformly for
+    # declarative *and* function scenarios (the components capture it while
+    # the scenario builds its world).  Declarative scenarios can alternatively
+    # enable observability through their spec (-p observability.enabled=True).
+    from repro.obs import Observer, observing, trace_digest, write_trace
+
+    observer = Observer(metrics=bool(args.metrics), trace=bool(args.trace))
+    with observing(observer):
+        results = execute_many([run], workers=1)
+    payload = results[0].result
+    if isinstance(payload, dict):
+        if observer.metrics is not None:
+            payload.setdefault("metrics", observer.metrics.as_dict())
+        if observer.trace is not None:
+            records = observer.trace.records
+            payload.setdefault(
+                "trace",
+                {"records": len(records), "digest": trace_digest(records)},
+            )
+    if args.trace and observer.trace is not None:
+        write_trace(observer.trace.records, args.trace)
+        print(f"trace: {args.trace}", file=sys.stderr)
     _emit(results, args)
     return 0
 
@@ -192,9 +220,45 @@ def _sweep_runs(args: argparse.Namespace, scenario: str) -> List[RunSpec]:
     return expand_grid(scenario, grid=grid, base=base)
 
 
+def _traced_runs(
+    runs: List[RunSpec], trace_dir: str, scenario: str
+) -> List[RunSpec]:
+    """Rewrite each run to trace itself into ``trace_dir/<nnnn>-<run_id>.jsonl``.
+
+    File names derive from the run's *pre-observability* identity and its
+    (deterministic) position in the expanded sweep, so serial and parallel
+    executions produce the identical file set.  The trace is written inside
+    the worker process by :func:`~repro.experiments.spec.run_spec`, which is
+    what makes per-run files compose with the multiprocessing executor.
+    """
+    entry = get_scenario(scenario)
+    if entry.kind != "spec":
+        raise ReproError(
+            "--trace-dir requires a declarative (spec) scenario; "
+            f"{scenario!r} is a {entry.kind} scenario — use "
+            "`run <name> --trace PATH` for single function-scenario traces"
+        )
+    os.makedirs(trace_dir, exist_ok=True)
+    traced = []
+    for index, run in enumerate(runs):
+        slug = re.sub(r"[^A-Za-z0-9._-]+", "_", run.run_id)
+        params = run.params_dict
+        params["observability.enabled"] = True
+        params["observability.trace"] = True
+        params["observability.trace_path"] = os.path.join(
+            trace_dir, f"{index:04d}-{slug}.jsonl"
+        )
+        traced.append(
+            RunSpec(scenario=run.scenario, params=tuple(sorted(params.items())))
+        )
+    return traced
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     scenario = _resolve_scenario(args)
     runs = _sweep_runs(args, scenario)
+    if args.trace_dir:
+        runs = _traced_runs(runs, args.trace_dir, scenario)
     total = len(runs)
     # Buffer results only for sinks that need the complete, input-ordered
     # list; a --jsonl-only sweep streams in constant memory.
@@ -266,6 +330,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         else:
             print(f"deterministic counters match {args.check}")
     return status
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        read_trace,
+        summarize_trace,
+        trace_digest,
+        write_chrome_trace,
+    )
+
+    records = read_trace(args.trace_file)  # validates every record
+    if args.export:
+        write_chrome_trace(records, args.export)
+        print(
+            f"chrome trace: {args.export} (open at https://ui.perfetto.dev "
+            "or chrome://tracing)",
+            file=sys.stderr,
+        )
+    summary = summarize_trace(records)
+    summary["digest"] = trace_digest(records)
+    if not args.quiet:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -343,6 +430,12 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="KEY=VALUE", help="override a scenario parameter")
     p_run.add_argument("--json", metavar="PATH", help="write results to a JSON file")
     p_run.add_argument("--csv", metavar="PATH", help="write results to a CSV file")
+    p_run.add_argument("--trace", metavar="PATH",
+                       help="record a deterministic JSONL trace of the run "
+                       "(summarise/export it with `python -m repro trace`)")
+    p_run.add_argument("--metrics", action="store_true",
+                       help="attach the observability metrics snapshot to the "
+                       "result JSON")
     p_run.add_argument("--quiet", action="store_true", help="suppress stdout JSON")
     p_run.set_defaults(fn=_cmd_run)
 
@@ -386,6 +479,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--jsonl", metavar="PATH",
                          help="stream results to a JSONL file as runs complete "
                          "(constant memory with --quiet and no --json/--csv)")
+    p_sweep.add_argument("--trace-dir", metavar="DIR",
+                         help="write one deterministic JSONL trace per run "
+                         "into DIR (declarative scenarios only; identical "
+                         "files for any --workers count)")
     p_sweep.add_argument("--no-progress", action="store_true",
                          help="suppress per-run progress lines on stderr")
     p_sweep.add_argument("--quiet", action="store_true", help="suppress stdout JSON")
@@ -444,6 +541,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="assert deterministic counters against an "
                          "expectations file (exit 1 on mismatch)")
     p_bench.set_defaults(fn=_cmd_bench)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="summarise or export a trace JSONL",
+        description="Validate a JSONL trace (written by `run --trace` or "
+        "`sweep --trace-dir`) against the record schema, print an aggregate "
+        "summary (per-category/per-name counts, span totals, digest), and "
+        "optionally export it to the Chrome trace_event format for "
+        "https://ui.perfetto.dev.",
+    )
+    p_trace.add_argument("trace_file", help="JSONL trace to summarise")
+    p_trace.add_argument("--export", metavar="PATH",
+                         help="also write a Chrome/Perfetto trace_event JSON")
+    p_trace.add_argument("--quiet", action="store_true",
+                         help="suppress the stdout summary (validate/export only)")
+    p_trace.set_defaults(fn=_cmd_trace)
     return parser
 
 

@@ -69,6 +69,7 @@ from repro.monitoring.policy import (
     proportional_inverse_latency_weights,
     wheat_style_weights,
 )
+from repro.obs import Observer, observing, trace_digest, write_trace
 from repro.storage.sharded import expand_process_names, shard_process_name
 from repro.types import ProcessId, VirtualTime, Weight, server_set
 from repro.workloads.arrivals import (
@@ -96,6 +97,7 @@ __all__ = [
     "WorkloadSpec",
     "PolicySpec",
     "MonitoringSpec",
+    "ObservabilitySpec",
     "PartitionSpec",
     "FaultSpec",
     "FailureSpec",
@@ -571,6 +573,60 @@ class MonitoringSpec(SpecSection):
 
 
 @dataclass(frozen=True)
+class ObservabilitySpec(SpecSection):
+    """The declarative switch for the :mod:`repro.obs` layer.
+
+    Off by default — and when off, :func:`run_spec` installs no observer, the
+    components capture ``None``, and the result dict is byte-identical to
+    pre-observability baselines.  When ``enabled``:
+
+    * ``metrics`` adds a ``metrics`` block (the sorted
+      :meth:`~repro.obs.metrics.MetricsRegistry.as_dict` snapshot) to the
+      result;
+    * ``trace`` adds a ``trace`` block (record count + deterministic digest)
+      and, if ``trace_path`` is set, writes the canonical JSONL there —
+      inside the worker process, so per-run files compose with the
+      multiprocessing sweep executor;
+    * ``trace_messages`` gates the per-message flow records independently
+      (the chattiest trace category).
+
+    Every field is sweepable (``observability.enabled``,
+    ``observability.trace_path``), which is how ``python -m repro sweep
+    --trace-dir`` turns tracing on per run.
+    """
+
+    enabled: bool = False
+    metrics: bool = True
+    trace: bool = True
+    trace_messages: bool = True
+    trace_path: Optional[str] = None
+
+    def _validate(self) -> None:
+        if self.enabled and not (self.metrics or self.trace):
+            raise ConfigurationError(
+                "observability.enabled without metrics or trace records nothing; "
+                "disable it instead"
+            )
+        if self.trace_path is not None and not self.trace_path:
+            raise ConfigurationError("observability.trace_path must not be empty")
+        if self.trace_path is not None and not (self.enabled and self.trace):
+            raise ConfigurationError(
+                "observability.trace_path requires observability.enabled and "
+                "observability.trace"
+            )
+
+    def build(self) -> Optional[Observer]:
+        """The observer :func:`run_spec` installs, or ``None`` when disabled."""
+        if not self.enabled:
+            return None
+        return Observer(
+            metrics=self.metrics,
+            trace=self.trace,
+            trace_messages=self.trace_messages,
+        )
+
+
+@dataclass(frozen=True)
 class PartitionSpec(SpecSection):
     """A partition window: split into ``groups`` at ``at``, heal at ``heal_at``.
 
@@ -716,6 +772,9 @@ class ScenarioSpec(SpecSection):
     transfers: Tuple[TransferEvent, ...] = ()
     seed: int = 0
     max_time: Optional[VirtualTime] = None
+    # Appended after max_time so positional construction of older specs
+    # keeps meaning what it meant.
+    observability: ObservabilitySpec = ObservabilitySpec()
 
     _non_sweepable = ("name", "description")
     _aliases = {"failures": "faults"}
@@ -870,8 +929,32 @@ def run_spec(spec: ScenarioSpec) -> Dict[str, Any]:
     load/latency breakdown), ``imbalance`` (hottest-shard share, max/mean
     ratio, load variance) and — for the dynamic-weighted flavour —
     ``shard_weights`` (each shard's independently evolving weight map).
+    Observability-enabled runs (``observability.enabled``) add ``metrics``
+    and/or ``trace`` blocks; with it disabled (the default) the result is
+    byte-identical to pre-observability baselines.
     """
     spec.validate()
+    observer = spec.observability.build()
+    if observer is None:
+        return _run_spec_inner(spec)
+    # The observer must be ambient *before* the cluster is built: SimLoop,
+    # Network and ShardedStore capture it at construction time.
+    with observing(observer):
+        result = _run_spec_inner(spec)
+    if observer.metrics is not None:
+        result["metrics"] = observer.metrics.as_dict()
+    if observer.trace is not None:
+        records = observer.trace.records
+        result["trace"] = {
+            "records": len(records),
+            "digest": trace_digest(records),
+        }
+        if spec.observability.trace_path:
+            write_trace(records, spec.observability.trace_path)
+    return result
+
+
+def _run_spec_inner(spec: ScenarioSpec) -> Dict[str, Any]:
     transfers = _coerce_transfers(spec.transfers)
     if transfers and spec.cluster.flavour != "dynamic-weighted":
         raise ConfigurationError(

@@ -67,8 +67,11 @@ def install_monitoring_control(
     ]
 
     async def control_loop() -> None:
-        for _ in range(rounds):
+        obs = network.obs
+        for index in range(rounds):
             await loop.sleep(interval)
+            if obs is not None:
+                obs.control_round(prober_pid, index, loop.now)
             await monitor.probe(prober)
             targets = policy(monitor.summary(default=1.0), config)
             for controller in controllers:

@@ -32,6 +32,7 @@ from repro.errors import UnknownProcessError
 from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.message import Message
 from repro.net.simloop import SimLoop
+from repro.obs.observer import current_observer
 from repro.types import ProcessId, VirtualTime
 
 __all__ = ["Network"]
@@ -60,6 +61,9 @@ class Network:
         self.messages_delivered = 0
         self.messages_dropped = 0
         self.sent_by_kind: Counter = Counter()
+        #: Ambient observer captured at construction (None = observability
+        #: off).  The protocols reach it through ``process.network.obs``.
+        self.obs = current_observer()
 
     # -- membership ------------------------------------------------------------
     def register(self, process: "ProcessLike") -> None:
@@ -84,6 +88,8 @@ class Network:
         """Crash-stop ``pid``: it stops sending and receiving forever."""
         self.get_process(pid)  # validates existence
         self._crashed.add(pid)
+        if self.obs is not None:
+            self.obs.process_crashed(pid, self.loop.now)
 
     def recover(self, pid: ProcessId) -> None:
         """Un-crash ``pid``: it rejoins with its pre-crash state intact.
@@ -96,6 +102,8 @@ class Network:
         """
         self.get_process(pid)  # validates existence
         self._crashed.discard(pid)
+        if self.obs is not None:
+            self.obs.process_recovered(pid, self.loop.now)
 
     def is_crashed(self, pid: ProcessId) -> bool:
         return pid in self._crashed
@@ -110,6 +118,10 @@ class Network:
         """
         self._partition_groups = [set(group) for group in groups]
         self._rebuild_partition_map()
+        if self.obs is not None:
+            self.obs.partition_started(
+                [sorted(group) for group in self._partition_groups], self.loop.now
+            )
 
     def heal(self) -> None:
         """Remove the partition and release every held message immediately."""
@@ -118,6 +130,8 @@ class Network:
         held, self._held = self._held, []
         for message in held:
             self._schedule_delivery(message, extra_delay=0.0)
+        if self.obs is not None:
+            self.obs.partition_healed(len(held), self.loop.now)
 
     def _rebuild_partition_map(self) -> None:
         group_of: Dict[ProcessId, int] = {}
@@ -142,10 +156,14 @@ class Network:
         if message.sender in self._crashed:
             # A crashed process performs no further actions.
             self.messages_dropped += 1
+            if self.obs is not None:
+                self.obs.message_dropped(message, self.loop.now, "sender-crashed")
             return
         message.sent_at = self.loop.now
         self.messages_sent += 1
         self.sent_by_kind[message.kind] += 1
+        if self.obs is not None:
+            self.obs.message_sent(message, self.loop.now)
         delay = self.latency.delay(message.sender, message.receiver, self.loop.now)
         self._schedule_delivery(message, extra_delay=delay)
 
@@ -157,6 +175,8 @@ class Network:
     def _deliver(self, message: Message) -> None:
         if message.receiver in self._crashed:
             self.messages_dropped += 1
+            if self.obs is not None:
+                self.obs.message_dropped(message, self.loop.now, "receiver-crashed")
             return
         if self._crosses_partition(message.sender, message.receiver):
             # Hold until the partition heals; links stay reliable.
@@ -164,6 +184,8 @@ class Network:
             return
         message.delivered_at = self.loop.now
         self.messages_delivered += 1
+        if self.obs is not None:
+            self.obs.message_delivered(message, self.loop.now)
         receiver = self._processes[message.receiver]
         receiver.deliver(message)
 

@@ -55,6 +55,7 @@ from typing import (
 )
 
 from repro.errors import DeadlockError, SimTimeoutError, SimulationError
+from repro.obs.observer import current_observer
 from repro.types import VirtualTime
 
 __all__ = [
@@ -300,6 +301,10 @@ class SimLoop:
         #: Total events dispatched over the loop's lifetime (a deterministic
         #: counter: same run -> same count; the bench harness reports it).
         self.events_processed = 0
+        #: Ambient observer captured at construction (None = observability
+        #: off).  Checked once per run()/run_until_complete() call — not per
+        #: event — so the disabled-mode dispatch loops stay untouched.
+        self.obs = current_observer()
 
     # -- clock ---------------------------------------------------------------
     @property
@@ -401,6 +406,8 @@ class SimLoop:
             target = awaitable
         else:
             target = self.create_task(awaitable)
+        if self.obs is not None:
+            return self._run_target_observed(target, max_time)
 
         # Inlined dispatch (see _pop_and_run_one): this loop is the hot path
         # of every run, so it binds the stores once and only computes the
@@ -441,6 +448,58 @@ class SimLoop:
             SimLoop.total_events_processed += processed
         return target.result()
 
+    def _run_target_observed(
+        self, target: SimFuture, max_time: Optional[VirtualTime]
+    ) -> Any:
+        """Observed twin of the :meth:`run_until_complete` dispatch loop.
+
+        Same ordering, same error behaviour; additionally splits the dispatch
+        count into ready-deque vs heap hits, tracks the peak queue depth, and
+        folds the totals into the observer at loop exit.  Kept as a separate
+        copy so the disabled-mode loop carries zero per-event overhead.
+        """
+        obs = self.obs
+        events = self._events
+        ready = self._ready
+        heappop = heapq.heappop
+        ready_hits = 0
+        heap_hits = 0
+        max_depth = 0
+        try:
+            while target._state == _PENDING:
+                depth = len(events) + len(ready)
+                if depth > max_depth:
+                    max_depth = depth
+                if ready and (
+                    not events
+                    or events[0][0] > self._now
+                    or events[0][1] > ready[0][0]
+                ):
+                    _seq, callback, args = ready.popleft()
+                    ready_hits += 1
+                elif events:
+                    when = events[0][0]
+                    if max_time is not None and when > max_time:
+                        raise SimTimeoutError(
+                            f"virtual-time budget {max_time} exhausted "
+                            f"(next event at {when})"
+                        )
+                    when, _seq, callback, args = heappop(events)
+                    self._now = when
+                    heap_hits += 1
+                else:
+                    raise DeadlockError(
+                        f"simulation deadlocked at t={self._now}: "
+                        f"no pending events but {target.name!r} is not done"
+                    )
+                callback(*args)
+        finally:
+            processed = ready_hits + heap_hits
+            self.events_processed += processed
+            SimLoop.total_events_processed += processed
+            obs.kernel_run(ready_hits, heap_hits, max_depth)
+        return target.result()
+
     def run(self, until: Optional[VirtualTime] = None) -> VirtualTime:
         """Drain events, optionally only up to virtual time ``until``.
 
@@ -448,6 +507,8 @@ class SimLoop:
         :meth:`run_until_complete` this never raises on an empty queue — it
         is the natural way to "let the system settle".
         """
+        if self.obs is not None:
+            return self._run_observed(until)
         events = self._events
         ready = self._ready
         heappop = heapq.heappop
@@ -471,6 +532,44 @@ class SimLoop:
         finally:
             self.events_processed += processed
             SimLoop.total_events_processed += processed
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def _run_observed(self, until: Optional[VirtualTime]) -> VirtualTime:
+        """Observed twin of the :meth:`run` dispatch loop (see above)."""
+        obs = self.obs
+        events = self._events
+        ready = self._ready
+        heappop = heapq.heappop
+        ready_hits = 0
+        heap_hits = 0
+        max_depth = 0
+        try:
+            while events or ready:
+                depth = len(events) + len(ready)
+                if depth > max_depth:
+                    max_depth = depth
+                if ready and (
+                    not events
+                    or events[0][0] > self._now
+                    or events[0][1] > ready[0][0]
+                ):
+                    _seq, callback, args = ready.popleft()
+                    ready_hits += 1
+                elif until is not None and events[0][0] > until:
+                    self._now = until
+                    return self._now
+                else:
+                    when, _seq, callback, args = heappop(events)
+                    self._now = when
+                    heap_hits += 1
+                callback(*args)
+        finally:
+            processed = ready_hits + heap_hits
+            self.events_processed += processed
+            SimLoop.total_events_processed += processed
+            obs.kernel_run(ready_hits, heap_hits, max_depth)
         if until is not None and until > self._now:
             self._now = until
         return self._now

@@ -1,0 +1,65 @@
+"""``repro.obs`` — deterministic tracing and metrics for the simulation kernel.
+
+Three small modules behind one facade:
+
+* :mod:`repro.obs.metrics` — counters, gauges, virtual-time histograms in a
+  :class:`MetricsRegistry` with a sorted, JSON-serialisable snapshot.
+* :mod:`repro.obs.trace` — the :class:`TraceRecorder` span/event model, the
+  canonical JSONL serialisation, and the trace digest used as a golden
+  regression gate.
+* :mod:`repro.obs.export` — Chrome/Perfetto ``trace_event`` export and
+  trace summaries (the ``python -m repro trace`` subcommand).
+
+Everything hangs off :class:`Observer` (see :mod:`repro.obs.observer`):
+install one with :func:`observing` *before* building a cluster and the
+kernel, network, protocols, and shards record into it; install nothing and
+every instrumentation site is a single ``None`` check.
+"""
+
+from repro.obs.export import summarize_trace, to_chrome_trace, write_chrome_trace
+from repro.obs.metrics import (
+    DEFAULT_TIME_BOUNDS,
+    MetricCounter,
+    MetricGauge,
+    MetricHistogram,
+    MetricsRegistry,
+)
+from repro.obs.observer import (
+    Observer,
+    current_observer,
+    install_observer,
+    observing,
+)
+from repro.obs.trace import (
+    TRACE_CATEGORIES,
+    TRACE_PHASES,
+    TraceRecorder,
+    read_trace,
+    trace_digest,
+    trace_lines,
+    validate_record,
+    write_trace,
+)
+
+__all__ = [
+    "Observer",
+    "current_observer",
+    "install_observer",
+    "observing",
+    "MetricsRegistry",
+    "MetricCounter",
+    "MetricGauge",
+    "MetricHistogram",
+    "DEFAULT_TIME_BOUNDS",
+    "TraceRecorder",
+    "TRACE_PHASES",
+    "TRACE_CATEGORIES",
+    "trace_lines",
+    "trace_digest",
+    "write_trace",
+    "read_trace",
+    "validate_record",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "summarize_trace",
+]

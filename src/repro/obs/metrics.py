@@ -1,0 +1,179 @@
+"""Deterministic in-process metrics: counters, gauges, virtual-time histograms.
+
+The registry is a plain dictionary of named instruments with no locks, no
+wall-clock reads, and no background threads — everything is driven by the
+simulation itself, so two identical runs produce identical snapshots.  The
+snapshot (:meth:`MetricsRegistry.as_dict`) iterates names in sorted order and
+therefore does not depend on ``PYTHONHASHSEED`` or insertion order.
+
+Instruments follow the conventional trio:
+
+* :class:`MetricCounter` — monotonically increasing integer (events
+  dispatched, messages sent, restarts, ...).
+* :class:`MetricGauge` — a last-written value plus its observed maximum
+  (queue depths, recursion depths).
+* :class:`MetricHistogram` — fixed-bound bucket counts over *virtual-time*
+  quantities (operation latency, transfer latency) or small integers (quorum
+  sizes).  Bounds are upper-inclusive (``value <= bound``), with an implicit
+  overflow bucket; the snapshot encodes the overflow bound as ``None``.
+
+Names are dotted strings (``"kernel.ready_dispatches"``,
+``"storage.op_latency"``); the registry creates instruments on first use so
+instrumentation sites never need set-up code.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "MetricCounter",
+    "MetricGauge",
+    "MetricHistogram",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BOUNDS",
+]
+
+#: Default bucket bounds for virtual-time histograms (simulation time units).
+DEFAULT_TIME_BOUNDS: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+
+class MetricCounter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        self.value += amount
+
+
+class MetricGauge:
+    """A last-written value that also remembers its maximum."""
+
+    __slots__ = ("name", "value", "maximum")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+        self.maximum = 0
+
+    def set(self, value: Any) -> None:
+        self.value = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def set_max(self, value: Any) -> None:
+        """Record ``value`` only if it exceeds the maximum seen so far."""
+        if value > self.maximum:
+            self.maximum = value
+            self.value = value
+
+
+class MetricHistogram:
+    """Fixed-bound bucket counts with an implicit overflow bucket.
+
+    ``bounds`` must be strictly increasing; a value lands in the first bucket
+    whose bound it does not exceed (``value <= bound``), or in the overflow
+    bucket past the last bound.
+    """
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total")
+
+    def __init__(self, name: str, bounds: Sequence[float]) -> None:
+        bounds = tuple(bounds)
+        if not bounds:
+            raise ConfigurationError(f"histogram {name!r} needs at least one bound")
+        if any(b >= a for b, a in zip(bounds, bounds[1:])):
+            raise ConfigurationError(
+                f"histogram {name!r} bounds must be strictly increasing: {bounds}"
+            )
+        self.name = name
+        self.bounds = bounds
+        self.buckets = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.buckets[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+    def as_dict(self) -> Dict[str, Any]:
+        buckets: List[Dict[str, Any]] = []
+        for bound, count in zip(self.bounds, self.buckets):
+            buckets.append({"le": bound, "count": count})
+        # The overflow bucket: ``le: None`` stands for +infinity (kept
+        # JSON-serialisable, unlike float("inf")).
+        buckets.append({"le": None, "count": self.buckets[-1]})
+        return {"count": self.count, "sum": self.total, "buckets": buckets}
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshotted in sorted order."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, MetricCounter] = {}
+        self._gauges: Dict[str, MetricGauge] = {}
+        self._histograms: Dict[str, MetricHistogram] = {}
+
+    # -- instrument access (get-or-create) ------------------------------------
+    def counter(self, name: str) -> MetricCounter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = MetricCounter(name)
+        return instrument
+
+    def gauge(self, name: str) -> MetricGauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = MetricGauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> MetricHistogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = MetricHistogram(
+                name, bounds if bounds is not None else DEFAULT_TIME_BOUNDS
+            )
+        elif bounds is not None and tuple(bounds) != instrument.bounds:
+            raise ConfigurationError(
+                f"histogram {name!r} re-requested with different bounds: "
+                f"{tuple(bounds)} != {instrument.bounds}"
+            )
+        return instrument
+
+    # -- snapshot ---------------------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        """Deterministic snapshot: names sorted, values JSON-serialisable."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: {
+                    "value": self._gauges[name].value,
+                    "max": self._gauges[name].maximum,
+                }
+                for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: self._histograms[name].as_dict()
+                for name in sorted(self._histograms)
+            },
+        }

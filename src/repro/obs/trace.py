@@ -1,0 +1,214 @@
+"""Structured, deterministic trace records with a JSONL sink.
+
+A trace is an ordered list of flat JSON records, one per observable moment of
+a run, stamped with *virtual* time — wall clocks never appear, so the same
+run always produces the same bytes.  The record shape is deliberately close
+to the Chrome ``trace_event`` format (:mod:`repro.obs.export` finishes the
+conversion):
+
+========  =======================================================
+field     meaning
+========  =======================================================
+``seq``   0-based emission index (total order within the trace)
+``ts``    virtual time of the event
+``cat``   category: ``kernel`` / ``net`` / ``fault`` / ``op`` /
+          ``quorum`` / ``transfer`` / ``storage`` / ``monitoring``
+``name``  event name (message kind, operation kind, phase, ...)
+``ph``    phase: ``B`` (span begin), ``E`` (span end), ``i``
+          (instant), ``s`` / ``f`` (flow start / finish)
+``actor`` optional process id the event belongs to
+``args``  optional flat dict of extra fields (sorted keys)
+``id``    optional flow id pairing a ``s`` record with its ``f``
+========  =======================================================
+
+Determinism contract: records are emitted in dispatch order by the (already
+deterministic) kernel, ``args`` are built from sorted iterations only, and
+flow ids come from the recorder's own counter — never from process-global
+state such as ``Message.msg_id``, which depends on how many messages earlier
+runs in the same interpreter created.
+
+The canonical serialisation (one record per line,
+``json.dumps(..., sort_keys=True, separators=(",", ":"))``) is what both the
+JSONL sink and the trace digest hash, so a digest pinned in a test also pins
+the exact bytes CI uploads as an artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "TraceRecorder",
+    "TRACE_PHASES",
+    "TRACE_CATEGORIES",
+    "trace_lines",
+    "trace_digest",
+    "write_trace",
+    "read_trace",
+    "validate_record",
+]
+
+#: Phases a record may carry (a subset of Chrome ``trace_event`` phases).
+TRACE_PHASES = ("B", "E", "i", "s", "f")
+
+#: Known categories.  The validator treats these as the closed set so a typo
+#: in an instrumentation site fails loudly in CI instead of silently adding a
+#: new lane.
+TRACE_CATEGORIES = (
+    "kernel",
+    "net",
+    "fault",
+    "op",
+    "quorum",
+    "transfer",
+    "storage",
+    "monitoring",
+)
+
+
+class TraceRecorder:
+    """Accumulates trace records in emission order."""
+
+    __slots__ = ("records", "_flow_ids")
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+        self._flow_ids = 0
+
+    def next_flow_id(self) -> int:
+        """A fresh flow id, deterministic because it is per-recorder."""
+        self._flow_ids += 1
+        return self._flow_ids
+
+    def emit(
+        self,
+        ts: float,
+        cat: str,
+        name: str,
+        ph: str,
+        actor: str = "",
+        args: Optional[Dict[str, Any]] = None,
+        flow: Optional[int] = None,
+    ) -> None:
+        record: Dict[str, Any] = {
+            "seq": len(self.records),
+            "ts": ts,
+            "cat": cat,
+            "name": name,
+            "ph": ph,
+        }
+        if actor:
+            record["actor"] = actor
+        if args:
+            record["args"] = args
+        if flow is not None:
+            record["id"] = flow
+        self.records.append(record)
+
+
+# ---------------------------------------------------------------------------
+# Canonical serialisation, digest, JSONL sink
+# ---------------------------------------------------------------------------
+
+
+def trace_lines(records: Iterable[Dict[str, Any]]) -> List[str]:
+    """The canonical one-record-per-line serialisation."""
+    return [
+        json.dumps(record, sort_keys=True, separators=(",", ":"))
+        for record in records
+    ]
+
+
+def trace_digest(records: Iterable[Dict[str, Any]]) -> str:
+    """SHA-256 over the canonical JSONL bytes (trailing newline included)."""
+    payload = "".join(line + "\n" for line in trace_lines(records))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def write_trace(records: Iterable[Dict[str, Any]], path: str) -> None:
+    """Write the canonical JSONL to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in trace_lines(records):
+            handle.write(line + "\n")
+
+
+def read_trace(path: str) -> List[Dict[str, Any]]:
+    """Load a JSONL trace, validating every record against the schema."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"{path}:{number}: not valid JSON: {exc}"
+                ) from exc
+            problems = validate_record(record, expect_seq=len(records))
+            if problems:
+                raise ConfigurationError(
+                    f"{path}:{number}: invalid trace record: "
+                    + "; ".join(problems)
+                )
+            records.append(record)
+    return records
+
+
+# ---------------------------------------------------------------------------
+# Schema validation (shared by read_trace and tools/check_trace.py)
+# ---------------------------------------------------------------------------
+
+_ALLOWED_KEYS = frozenset({"seq", "ts", "cat", "name", "ph", "actor", "args", "id"})
+_REQUIRED_KEYS = ("seq", "ts", "cat", "name", "ph")
+
+
+def validate_record(
+    record: Any, expect_seq: Optional[int] = None
+) -> List[str]:
+    """Schema problems with one record (empty list = valid)."""
+    if not isinstance(record, dict):
+        return [f"record is {type(record).__name__}, expected object"]
+    problems: List[str] = []
+    for key in _REQUIRED_KEYS:
+        if key not in record:
+            problems.append(f"missing required key {key!r}")
+    for key in record:
+        if key not in _ALLOWED_KEYS:
+            problems.append(f"unknown key {key!r}")
+    seq = record.get("seq")
+    if "seq" in record:
+        if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+            problems.append(f"seq must be a non-negative integer, got {seq!r}")
+        elif expect_seq is not None and seq != expect_seq:
+            problems.append(f"seq {seq!r} out of order (expected {expect_seq})")
+    ts = record.get("ts")
+    if "ts" in record and (not isinstance(ts, (int, float)) or isinstance(ts, bool)):
+        problems.append(f"ts must be a number, got {ts!r}")
+    elif isinstance(ts, (int, float)) and ts < 0:
+        problems.append(f"ts must be non-negative, got {ts!r}")
+    cat = record.get("cat")
+    if "cat" in record and cat not in TRACE_CATEGORIES:
+        problems.append(f"unknown category {cat!r}")
+    name = record.get("name")
+    if "name" in record and (not isinstance(name, str) or not name):
+        problems.append(f"name must be a non-empty string, got {name!r}")
+    ph = record.get("ph")
+    if "ph" in record and ph not in TRACE_PHASES:
+        problems.append(f"unknown phase {ph!r}")
+    if "actor" in record and not isinstance(record["actor"], str):
+        problems.append(f"actor must be a string, got {record['actor']!r}")
+    if "args" in record and not isinstance(record["args"], dict):
+        problems.append(f"args must be an object, got {record['args']!r}")
+    if "id" in record and (
+        not isinstance(record["id"], int) or isinstance(record["id"], bool)
+    ):
+        problems.append(f"id must be an integer, got {record['id']!r}")
+    if ph in ("s", "f") and "id" not in record:
+        problems.append(f"flow record (ph={ph!r}) requires an 'id'")
+    return problems

@@ -176,6 +176,12 @@ def imbalance_summary(loads: Sequence[int]) -> ImbalanceSummary:
     Zero-operation runs are legal (e.g. a workload truncated by
     ``max_time``): every share degrades to 0 and the ratios to 1.0/0.0, so
     callers never divide by zero.
+
+    Ties for the hottest shard resolve to the *lowest* index: the key is
+    ``(loads[index], -index)``, so among equal loads the largest ``-index``
+    — i.e. the smallest shard id — wins.  This keeps ``hottest_shard``
+    deterministic for flat load vectors (``[5, 5, 5]`` → shard 0), which
+    reports and baselines rely on.
     """
     if not loads:
         raise ConfigurationError("need at least one shard to summarise")

@@ -68,6 +68,9 @@ class RunReport:
     operations: int
     shards: Optional[Tuple[ShardLoadSummary, ...]] = None
     imbalance: Optional[ImbalanceSummary] = None
+    #: Snapshot of the ambient observer's metrics registry at the end of the
+    #: run (see :mod:`repro.obs`); ``None`` when observability is disabled.
+    metrics: Optional[Dict[str, Any]] = None
 
     def describe(self) -> str:
         """A human-readable multi-line summary (used by the examples)."""
@@ -267,8 +270,11 @@ def _install_global_monitoring(
     )
 
     async def control_loop() -> None:
-        for _ in range(rounds):
+        obs = cluster.network.obs
+        for index in range(rounds):
             await loop.sleep(interval)
+            if obs is not None:
+                obs.control_round(prober, index, loop.now)
             started = loop.now
             # Wait for every instance still alive — re-counted on each
             # reply, exactly like LatencyMonitor.probe: a slowed machine's
@@ -384,6 +390,13 @@ def run_workload(
     if shard_count is not None:
         shard_summaries, imbalance = summarize_shard_loads(placements, shard_count)
 
+    # The observer the cluster captured at construction time (if any); the
+    # registry keeps accumulating afterwards, this is a point-in-time copy.
+    obs = cluster.network.obs
+    metrics_snapshot = (
+        obs.metrics.as_dict() if obs is not None and obs.metrics is not None else None
+    )
+
     return RunReport(
         flavour=cluster.flavour,
         duration=cluster.loop.now - started_at,
@@ -394,4 +407,5 @@ def run_workload(
         operations=operations,
         shards=shard_summaries,
         imbalance=imbalance,
+        metrics=metrics_snapshot,
     )

@@ -73,8 +73,20 @@ class StaticQuorumStorageClient(Process):
         )
 
     async def _read_write(self, value: Any, is_write: bool) -> OperationRecord:
+        kind = "write" if is_write else "read"
         started_at = self.loop.now
+        obs = self.network.obs
+        if obs is not None:
+            obs.operation_started("abd", self.pid, kind, started_at)
         replies = await self._run_phase(SR, {})
+        if obs is not None:
+            obs.quorum_phase(
+                "abd",
+                self.pid,
+                "phase1",
+                len({reply.sender for reply in replies}),
+                self.loop.now,
+            )
         max_stored: StoredValue = max(
             (reply.payload["stored"] for reply in replies), key=lambda s: s.tag
         )
@@ -87,14 +99,26 @@ class StaticQuorumStorageClient(Process):
         replies = await self._run_phase(
             SW, {"stored": StoredValue(tag=tag, value=value_to_write)}
         )
+        contacted = len({reply.sender for reply in replies})
+        if obs is not None:
+            obs.quorum_phase("abd", self.pid, "phase2", contacted, self.loop.now)
+            obs.operation_completed(
+                "abd",
+                self.pid,
+                kind,
+                self.loop.now,
+                0,
+                contacted,
+                self.loop.now - started_at,
+            )
         record = OperationRecord(
-            kind="write" if is_write else "read",
+            kind=kind,
             value=value_to_write,
             tag=tag,
             started_at=started_at,
             completed_at=self.loop.now,
             restarts=0,
-            contacted=len({reply.sender for reply in replies}),
+            contacted=contacted,
         )
         self.history.append(record)
         return record

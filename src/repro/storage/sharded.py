@@ -47,6 +47,7 @@ from repro.core.storage import (
 )
 from repro.errors import ConfigurationError
 from repro.net.network import Network
+from repro.obs.observer import current_observer
 from repro.quorum.base import QuorumSystem
 from repro.quorum.majority import MajorityQuorumSystem
 from repro.quorum.weighted import WeightedMajorityQuorumSystem
@@ -322,6 +323,9 @@ class ShardedStore:
         self.shard_clients = tuple(shard_clients)
         self.shards = len(self.shard_clients)
         self._in_flight = False
+        # Ambient observer captured at construction, like Network/SimLoop do
+        # (the facade holds no network reference of its own).
+        self.obs = current_observer()
         # key -> shard memo: workloads revisit a small key set thousands of
         # times, so each key pays the FNV-1a hash exactly once per facade.
         self._shard_memo: Dict[Optional[str], int] = {}
@@ -360,6 +364,8 @@ class ShardedStore:
         record = self.shard_clients[shard].history[-1]
         self.history.append(record)
         self.sharded_history.append(ShardedRecord(shard=shard, key=key, record=record))
+        if self.obs is not None:
+            self.obs.shard_routed(self.pid, shard, record.kind)
         return record
 
     # -- public API ----------------------------------------------------------------

@@ -208,6 +208,16 @@ def test_imbalance_summary_math():
     assert summary.load_variance == pytest.approx(75.0)
 
 
+def test_imbalance_summary_tie_breaks_to_lowest_index():
+    # Equal maxima resolve to the smallest shard id — the (load, -index)
+    # key documented on imbalance_summary.
+    assert imbalance_summary([7, 9, 9, 3]).hottest_shard == 1
+    assert imbalance_summary([5, 5, 5]).hottest_shard == 0
+    assert imbalance_summary([0, 0]).hottest_shard == 0
+    # A strictly larger load at a higher index still wins outright.
+    assert imbalance_summary([1, 2, 8]).hottest_shard == 2
+
+
 def test_imbalance_summary_handles_zero_operations():
     summary = imbalance_summary([0, 0])
     assert summary.hottest_share == 0.0

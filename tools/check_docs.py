@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Documentation consistency checks (the CI docs job).
 
-Two checks, both pure standard library:
+Three checks, all pure standard library:
 
 * **link check** — every relative markdown link in the repository's ``*.md``
   files must point at an existing file or directory (external ``http(s)``/
@@ -10,6 +10,9 @@ Two checks, both pure standard library:
   ``README.md`` must list exactly the scenarios the registry knows, i.e. the
   names ``python -m repro list`` prints.  A scenario added to the catalogue
   without a README row (or a README row for a deleted scenario) fails CI.
+* **required-sections check** — load-bearing sections other docs and tools
+  link into (see ``REQUIRED_SECTIONS``) must keep their exact headings, so
+  renaming one fails CI instead of silently breaking anchors.
 
 Run from anywhere::
 
@@ -35,6 +38,13 @@ _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _SCENARIO_ROW = re.compile(r"^\|\s*`([^`]+)`\s*\|")
 
 _SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+# Sections other documentation (and CI jobs) deep-link into.  Paths are
+# repo-relative; headings must appear verbatim at line start.
+REQUIRED_SECTIONS = {
+    "docs/ARCHITECTURE.md": ["## Observability"],
+    "README.md": ["## Scenario catalogue", "## Tracing a run"],
+}
 
 
 def markdown_files(root: Path = REPO_ROOT) -> List[Path]:
@@ -114,17 +124,37 @@ def check_scenario_table(root: Path = REPO_ROOT) -> List[str]:
     return problems
 
 
+def check_required_sections(root: Path = REPO_ROOT) -> List[str]:
+    """Missing load-bearing headings (empty = clean)."""
+    problems = []
+    for relative, headings in REQUIRED_SECTIONS.items():
+        path = root / relative
+        if not path.exists():
+            problems.append(f"missing {relative} (required sections live there)")
+            continue
+        lines = path.read_text(encoding="utf-8").splitlines()
+        for heading in headings:
+            if not any(line.strip() == heading for line in lines):
+                problems.append(
+                    f"{relative}: required section {heading!r} not found "
+                    "(renamed or removed? other docs link to it)"
+                )
+    return problems
+
+
 def main() -> int:
     problems: List[str] = []
     for path in markdown_files():
         problems.extend(check_links(path))
     problems.extend(check_scenario_table())
+    problems.extend(check_required_sections())
     if problems:
         for problem in problems:
             print(f"error: {problem}", file=sys.stderr)
         print(f"{len(problems)} documentation problem(s)", file=sys.stderr)
         return 1
-    print("docs ok: links resolve, scenario table matches the registry")
+    print("docs ok: links resolve, scenario table matches the registry, "
+          "required sections present")
     return 0
 
 
