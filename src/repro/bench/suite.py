@@ -1,7 +1,7 @@
 """The built-in microbenchmark suite.
 
-Five benchmarks — one per layer of the hot path, plus an instrumented
-twin of the kernel benchmark:
+Six benchmarks — one per layer of the hot path, an instrumented twin of
+the kernel benchmark, and one for the trace-analytics layer:
 
 * ``event-loop`` — pure kernel dispatch: tasks ping-ponging through
   zero-delay sleeps and queue handoffs, no network.  This is the benchmark
@@ -22,6 +22,10 @@ twin of the kernel benchmark:
 * ``sweep`` — the experiment layer: a small serial parameter sweep through
   the registry/executor/result plumbing, measuring per-run orchestration
   overhead on top of the simulation itself.
+* ``trace-analyze`` — the trace-analytics layer: records/sec through the
+  invariant checker and the critical-path attributor over a synthetic
+  well-formed trace (no simulation; this measures the analysis code the
+  ``trace check`` / ``trace critical-path`` subcommands run).
 
 Every benchmark builds its world from fixed seeds, so the reported event /
 op / message counts are bit-deterministic; only wall time varies.  Scales
@@ -144,6 +148,98 @@ def bench_sharded_zipfian(quick: bool) -> Mapping[str, Any]:
         "counters": {
             "messages": cluster.network.messages_sent,
             "hottest_shard_load": report.imbalance.max_load,
+        },
+    }
+
+
+def _synthetic_trace(clients: int, ops_each: int):
+    """A deterministic, invariant-clean trace: quorum ops + transfers.
+
+    Shaped like a real recorded run (operation spans around request/reply
+    flows with quorum instants, occasional restarts and weight transfers)
+    so the analyses exercise their real code paths, but built directly so
+    the benchmark measures analysis throughput, not simulation.
+    """
+    from repro.obs import TraceRecorder
+
+    recorder = TraceRecorder()
+    servers = ("s1", "s2", "s3")
+    t = 0.0
+
+    def tick() -> float:
+        nonlocal t
+        t += 0.25
+        return t
+
+    for index in range(clients * ops_each):
+        client = f"c{index % clients + 1}"
+        kind = "read" if index % 2 else "write"
+        recorder.emit(ts=tick(), cat="op", name=kind, ph="B", actor=client,
+                      args={"protocol": "storage"})
+        restarted = index % 7 == 0
+        if restarted:
+            flow = recorder.next_flow_id()
+            recorder.emit(ts=tick(), cat="net", name="READ", ph="s",
+                          actor=client, args={"to": servers[0]}, flow=flow)
+            recorder.emit(ts=tick(), cat="net", name="READ", ph="f",
+                          actor=servers[0], args={"from": client}, flow=flow)
+            recorder.emit(ts=tick(), cat="op", name="restart", ph="i",
+                          actor=client, args={"op": kind, "protocol": "storage"})
+        requests = []
+        for server in servers:
+            flow = recorder.next_flow_id()
+            requests.append((server, flow))
+            recorder.emit(ts=t, cat="net", name="READ", ph="s", actor=client,
+                          args={"to": server}, flow=flow)
+        replies = []
+        for server, flow in requests:
+            recorder.emit(ts=tick(), cat="net", name="READ", ph="f",
+                          actor=server, args={"from": client}, flow=flow)
+            reply = recorder.next_flow_id()
+            replies.append((server, reply))
+            recorder.emit(ts=t, cat="net", name="READ-ACK", ph="s",
+                          actor=server, args={"to": client}, flow=reply)
+        for server, reply in replies:
+            recorder.emit(ts=tick(), cat="net", name="READ-ACK", ph="f",
+                          actor=client, args={"from": server}, flow=reply)
+        recorder.emit(ts=t, cat="quorum", name="phase1", ph="i", actor=client,
+                      args={"protocol": "storage", "size": len(servers)})
+        recorder.emit(ts=t, cat="op", name=kind, ph="E", actor=client,
+                      args={"contacted": len(servers),
+                            "restarts": 1 if restarted else 0})
+        if index % 10 == 0:
+            source = servers[(index // 10) % len(servers)]
+            target = servers[(index // 10 + 1) % len(servers)]
+            recorder.emit(ts=t, cat="transfer", name="transfer", ph="B",
+                          actor=source, args={"delta": 0.1, "target": target})
+            recorder.emit(ts=tick(), cat="transfer", name="transfer", ph="E",
+                          actor=source,
+                          args={"delta": 0.1, "effective": True,
+                                "target": target})
+    return recorder.records
+
+
+@benchmark("trace-analyze",
+           "invariant checking + critical-path attribution over a trace")
+def bench_trace_analyze(quick: bool) -> Mapping[str, Any]:
+    from repro.obs import check_trace_invariants, critical_path_report
+
+    clients, ops_each = (4, 25) if quick else (8, 250)
+    records = _synthetic_trace(clients, ops_each)
+    report = check_trace_invariants(records)
+    assert report.ok, report.findings
+    cpath = critical_path_report(records)
+    path_steps = sum(op["path_length"] for op in cpath["operations"])
+    return {
+        # Two full passes over the record stream: one for the invariant
+        # checker, one for the attributor.  events/sec is records/sec
+        # through the analyses.
+        "events": 2 * len(records),
+        "ops": len(cpath["operations"]),
+        "counters": {
+            "records": len(records),
+            "findings": len(report.findings),
+            "path_steps": path_steps,
         },
     }
 

@@ -19,6 +19,13 @@ Subcommands:
   wall time), append ``BENCH_<name>.json`` trajectory files, ``--compare``
   against a prior dump, or ``--check`` deterministic counters against the
   committed expectations (the CI determinism smoke).
+* ``trace``    — trace analytics over a recorded JSONL trace:
+  ``summary`` (aggregates + digest + Chrome export), ``digest``
+  (``--check`` gates against a committed sha256 file), ``check``
+  (structural/semantic invariants), ``critical-path`` (causal-graph
+  latency attribution), ``diff`` (first-divergence finder between two
+  traces), ``series`` (windowed virtual-time counters).  ``trace FILE``
+  without a subcommand is shorthand for ``trace summary FILE``.
 
 Parameter values (``-p key=value`` and grid axis values) are parsed with
 ``ast.literal_eval`` and fall back to plain strings, so ``-p seed=3``,
@@ -332,7 +339,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return status
 
 
-def _cmd_trace(args: argparse.Namespace) -> int:
+def _cmd_trace_summary(args: argparse.Namespace) -> int:
     from repro.obs import (
         read_trace,
         summarize_trace,
@@ -352,6 +359,140 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     summary["digest"] = trace_digest(records)
     if not args.quiet:
         print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_trace_digest(args: argparse.Namespace) -> int:
+    """Print the trace digest; with --check, gate it against a .sha256 file."""
+    from repro.obs import read_trace, trace_digest
+
+    digest = trace_digest(read_trace(args.trace_file))
+    if not args.check:
+        print(digest)
+        return 0
+    with open(args.check, "r", encoding="utf-8") as handle:
+        expected = handle.read().strip()
+    if digest == expected:
+        print(f"digest ok: {args.trace_file} matches {args.check} "
+              f"({digest[:12]}...)")
+        return 0
+    print(
+        f"digest mismatch for {args.trace_file}:\n"
+        f"  got      {digest}\n"
+        f"  expected {expected} (from {args.check})\n"
+        "Use `python -m repro trace diff` against a trace of the golden "
+        "run to find the first diverging record.",
+        file=sys.stderr,
+    )
+    return 1
+
+
+def _cmd_trace_check(args: argparse.Namespace) -> int:
+    from repro.obs import check_trace_invariants, read_trace
+
+    records = read_trace(args.trace_file)
+    report = check_trace_invariants(records, min_quorum=args.min_quorum)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    shown = report.errors if args.quiet else report.findings
+    for finding in shown:
+        print(f"{finding.severity}: [{finding.check}] "
+              + (f"seq {finding.seq}: " if finding.seq is not None else "")
+              + finding.message,
+              file=sys.stderr if finding.severity == "error" else sys.stdout)
+    verdict = "ok" if report.ok else "FAILED"
+    print(f"trace check {verdict}: {report.counters['records']} record(s), "
+          f"{len(report.errors)} error(s), {len(report.warnings)} warning(s)")
+    return 0 if report.ok else 1
+
+
+def _cmd_trace_critical_path(args: argparse.Namespace) -> int:
+    from repro.obs import critical_path_report, read_trace
+
+    report = critical_path_report(read_trace(args.trace_file))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.quiet:
+        return 0
+    if not report["by_kind"]:
+        print(f"no completed operation spans in {report['records']} record(s)")
+        return 0
+    categories = list(report["categories"])
+    _print_table(
+        ["kind", "count", "mean_duration"] + categories,
+        [
+            (
+                kind,
+                entry["count"],
+                f"{entry['mean_duration']:.4f}",
+                *(f"{entry['attribution'][c]:.4f}" for c in categories),
+            )
+            for kind, entry in report["by_kind"].items()
+        ],
+    )
+    total = sum(report["categories"].values()) or 1.0
+    shares = "  ".join(
+        f"{category}={report['categories'][category] / total:.1%}"
+        for category in categories
+    )
+    print(f"\n{len(report['operations'])} operation(s); "
+          f"critical-path time split: {shares}")
+    return 0
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    from repro.obs import diff_traces, format_divergence, read_trace
+
+    divergence = diff_traces(
+        read_trace(args.trace_a),
+        read_trace(args.trace_b),
+        context=args.context,
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(divergence, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    print(format_divergence(divergence))
+    return 0 if divergence is None else 1
+
+
+def _cmd_trace_series(args: argparse.Namespace) -> int:
+    from repro.obs import read_trace, trace_series
+
+    series = trace_series(
+        read_trace(args.trace_file),
+        window=args.window,
+        buckets=args.buckets,
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(series, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.quiet:
+        return 0
+    if not series["series"]:
+        print("empty trace: no series")
+        return 0
+    _print_table(
+        ["start", "events", "ops_started", "ops_completed", "in_flight"],
+        [
+            (
+                f"{row['start']:.3f}",
+                row["events"],
+                row["ops_started"],
+                row["ops_completed"],
+                row["in_flight"],
+            )
+            for row in series["series"]
+        ],
+    )
+    print(f"\n{series['records']} record(s) over "
+          f"[{series['start']:.3f}, {series['end']:.3f}] in windows of "
+          f"{series['window']:.3f} virtual time units")
     return 0
 
 
@@ -544,26 +685,157 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_trace = sub.add_parser(
         "trace",
-        help="summarise or export a trace JSONL",
-        description="Validate a JSONL trace (written by `run --trace` or "
-        "`sweep --trace-dir`) against the record schema, print an aggregate "
-        "summary (per-category/per-name counts, span totals, digest), and "
-        "optionally export it to the Chrome trace_event format for "
-        "https://ui.perfetto.dev.",
+        help="analyse a trace JSONL: summary, check, critical-path, diff, "
+        "series, digest",
+        description="Analyse a JSONL trace written by `run --trace` or "
+        "`sweep --trace-dir`.  Every subcommand validates each record "
+        "against the schema first; all of them return clean empty results "
+        "on an empty trace.",
+        epilog="quickstart:\n"
+        "  python -m repro run quickstart --trace out.jsonl --quiet\n"
+        "  python -m repro trace summary out.jsonl\n"
+        "  python -m repro trace check out.jsonl\n"
+        "  python -m repro trace critical-path out.jsonl\n"
+        "  python -m repro trace diff out.jsonl other.jsonl\n"
+        "  python -m repro trace series out.jsonl --buckets 10\n"
+        "  python -m repro trace digest out.jsonl --check golden.sha256\n",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    p_trace.add_argument("trace_file", help="JSONL trace to summarise")
-    p_trace.add_argument("--export", metavar="PATH",
-                         help="also write a Chrome/Perfetto trace_event JSON")
-    p_trace.add_argument("--quiet", action="store_true",
-                         help="suppress the stdout summary (validate/export only)")
-    p_trace.set_defaults(fn=_cmd_trace)
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+
+    p_summary = trace_sub.add_parser(
+        "summary",
+        help="aggregate summary + digest (optionally export to Chrome)",
+        description="Print an aggregate summary (per-category/per-name "
+        "counts, span totals, digest), optionally exporting the trace to "
+        "the Chrome trace_event format for https://ui.perfetto.dev.  "
+        "`python -m repro trace FILE` is shorthand for this subcommand.",
+    )
+    p_summary.add_argument("trace_file", help="JSONL trace to summarise")
+    p_summary.add_argument("--export", metavar="PATH",
+                           help="also write a Chrome/Perfetto trace_event JSON")
+    p_summary.add_argument("--quiet", action="store_true",
+                           help="suppress the stdout summary "
+                           "(validate/export only)")
+    p_summary.set_defaults(fn=_cmd_trace_summary)
+
+    p_digest = trace_sub.add_parser(
+        "digest",
+        help="print the trace digest, or gate it against a .sha256 file",
+        description="Print the SHA-256 trace digest (identical to the "
+        "digest of the canonical file bytes).  With --check, compare "
+        "against a committed digest file and exit 1 on mismatch — the "
+        "one-command local reproduction of the CI trace gate.",
+    )
+    p_digest.add_argument("trace_file", help="JSONL trace to digest")
+    p_digest.add_argument("--check", metavar="SHA256_FILE",
+                          help="compare against this golden digest file "
+                          "(e.g. benchmarks/baselines/"
+                          "fig1-walkthrough.trace.sha256)")
+    p_digest.set_defaults(fn=_cmd_trace_digest)
+
+    p_check = trace_sub.add_parser(
+        "check",
+        help="run structural + semantic invariant checks",
+        description="Check trace invariants: monotone seq/ts, balanced "
+        "B/E spans, paired s/f flows, quorum phases nested in operation "
+        "spans with ordered phases and sufficient sizes, and weight "
+        "conservation across transfers.  Warnings (spans/flows still open "
+        "at end of trace) do not fail the check; errors exit 1.",
+    )
+    p_check.add_argument("trace_file", help="JSONL trace to check")
+    p_check.add_argument("--min-quorum", type=int, default=1, metavar="N",
+                         help="smallest quorum size the configuration "
+                         "allows (default 1)")
+    p_check.add_argument("--json", metavar="PATH",
+                         help="write the full report (findings + counters) "
+                         "as JSON")
+    p_check.add_argument("--quiet", action="store_true",
+                         help="print errors and the verdict only "
+                         "(suppress warnings)")
+    p_check.set_defaults(fn=_cmd_trace_check)
+
+    p_cpath = trace_sub.add_parser(
+        "critical-path",
+        help="per-operation latency attribution along the causal graph",
+        description="Link flow records and span nesting into a causal "
+        "graph, walk each completed operation's gating chain, and "
+        "attribute its latency to queue / network / quorum / restart time "
+        "(the categories sum to the operation's duration).  Prints a "
+        "per-kind aggregate table; --json writes the full per-operation "
+        "report.",
+    )
+    p_cpath.add_argument("trace_file", help="JSONL trace to attribute")
+    p_cpath.add_argument("--json", metavar="PATH",
+                         help="write the full report as JSON")
+    p_cpath.add_argument("--quiet", action="store_true",
+                         help="suppress the stdout table (use with --json)")
+    p_cpath.set_defaults(fn=_cmd_trace_critical_path)
+
+    p_diff = trace_sub.add_parser(
+        "diff",
+        help="find the first diverging record between two traces",
+        description="Walk two traces in lockstep and report the earliest "
+        "record where they differ: its seq, a field-level delta, and the "
+        "shared-prefix context.  Exit 0 when identical, 1 on divergence.",
+    )
+    p_diff.add_argument("trace_a", help="first JSONL trace")
+    p_diff.add_argument("trace_b", help="second JSONL trace")
+    p_diff.add_argument("--context", type=int, default=3, metavar="N",
+                        help="shared-prefix records to show before the "
+                        "divergence (default 3)")
+    p_diff.add_argument("--json", metavar="PATH",
+                        help="write the divergence (or null) as JSON")
+    p_diff.set_defaults(fn=_cmd_trace_diff)
+
+    p_series = trace_sub.add_parser(
+        "series",
+        help="windowed virtual-time series (events, in-flight ops, shards)",
+        description="Derive windowed counter series from the trace: "
+        "records per window by category, operations started/completed, "
+        "open operations (concurrency), and per-shard activity for "
+        "sharded traces.",
+    )
+    p_series.add_argument("trace_file", help="JSONL trace to window")
+    p_series.add_argument("--window", type=float, default=0.0, metavar="W",
+                          help="window width in virtual-time units "
+                          "(default: span/buckets)")
+    p_series.add_argument("--buckets", type=int, default=20, metavar="N",
+                          help="number of windows when --window is unset "
+                          "(default 20)")
+    p_series.add_argument("--json", metavar="PATH",
+                          help="write the series as JSON")
+    p_series.add_argument("--quiet", action="store_true",
+                          help="suppress the stdout table (use with --json)")
+    p_series.set_defaults(fn=_cmd_trace_series)
     return parser
+
+
+#: ``trace`` subcommand names, used by the backwards-compatibility shim in
+#: :func:`main` — ``python -m repro trace FILE`` predates the subcommands
+#: and still works as shorthand for ``trace summary FILE``.
+_TRACE_SUBCOMMANDS = frozenset(
+    {"summary", "digest", "check", "critical-path", "diff", "series"}
+)
+
+
+def _normalise_argv(argv: Sequence[str]) -> List[str]:
+    """Insert ``summary`` into legacy ``trace FILE`` invocations."""
+    argv = list(argv)
+    if (
+        len(argv) >= 2
+        and argv[0] == "trace"
+        and argv[1] not in _TRACE_SUBCOMMANDS
+        and not argv[1].startswith("-")
+    ):
+        argv.insert(1, "summary")
+    return argv
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit status (0 ok, 1 diff, 2 error)."""
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(_normalise_argv(sys.argv[1:] if argv is None else argv))
     try:
         return args.fn(args)
     except (ReproError, OSError, json.JSONDecodeError) as error:

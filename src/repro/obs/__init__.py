@@ -10,13 +10,41 @@ Three small modules behind one facade:
 * :mod:`repro.obs.export` — Chrome/Perfetto ``trace_event`` export and
   trace summaries (the ``python -m repro trace`` subcommand).
 
+Plus the trace-analytics layer on top of the recorder (the
+``python -m repro trace check | critical-path | diff | series``
+subcommands):
+
+* :mod:`repro.obs.analysis` — typed event stream + structural/semantic
+  invariant checking;
+* :mod:`repro.obs.causal` — causal graph, per-operation critical path,
+  latency attribution by category;
+* :mod:`repro.obs.diff` — cross-run first-divergence finder;
+* :mod:`repro.obs.series` — windowed virtual-time counter series.
+
 Everything hangs off :class:`Observer` (see :mod:`repro.obs.observer`):
 install one with :func:`observing` *before* building a cluster and the
 kernel, network, protocols, and shards record into it; install nothing and
 every instrumentation site is a single ``None`` check.
 """
 
+from repro.obs.analysis import (
+    Finding,
+    InvariantReport,
+    TraceEvent,
+    check_trace_invariants,
+    parse_events,
+)
+from repro.obs.causal import (
+    ATTRIBUTION_CATEGORIES,
+    Operation,
+    PathStep,
+    critical_path,
+    critical_path_report,
+    extract_operations,
+)
+from repro.obs.diff import diff_traces, format_divergence
 from repro.obs.export import summarize_trace, to_chrome_trace, write_chrome_trace
+from repro.obs.series import trace_series
 from repro.obs.metrics import (
     DEFAULT_TIME_BOUNDS,
     MetricCounter,
@@ -62,4 +90,18 @@ __all__ = [
     "to_chrome_trace",
     "write_chrome_trace",
     "summarize_trace",
+    "TraceEvent",
+    "Finding",
+    "InvariantReport",
+    "parse_events",
+    "check_trace_invariants",
+    "ATTRIBUTION_CATEGORIES",
+    "Operation",
+    "PathStep",
+    "extract_operations",
+    "critical_path",
+    "critical_path_report",
+    "diff_traces",
+    "format_divergence",
+    "trace_series",
 ]

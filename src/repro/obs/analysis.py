@@ -1,0 +1,360 @@
+"""Invariant checking over a recorded trace (``python -m repro trace check``).
+
+The recorder in :mod:`repro.obs.trace` only promises a *schema*: flat
+records, closed category/phase vocabularies, ordered ``seq``.  This module
+promises *meaning*: it parses the flat records into a typed event stream
+(:class:`TraceEvent`) and checks the structural and semantic invariants a
+correct run must satisfy, so "the digests differ" can be escalated to "the
+trace is malformed *here*, in this way".
+
+Structural invariants (any trace):
+
+* ``seq`` counts 0,1,2,... and ``ts`` never decreases (virtual time is
+  monotone in dispatch order);
+* ``B``/``E`` spans balance per ``(actor, name)`` — every ``E`` closes an
+  open ``B``; spans still open at end-of-trace are *warnings* (operations
+  legitimately in flight when the run stopped), unmatched ``E`` records are
+  errors;
+* flow pairing — every ``f`` record closes exactly one earlier ``s`` with
+  the same ``id`` and ``name``; a second ``s`` or ``f`` on the same id is
+  an error; an ``s`` that never finishes is a warning (dropped or in-flight
+  messages are legal, double delivery is not).
+
+Semantic invariants (grounded in the paper's protocols):
+
+* quorum phase records nest inside an open operation span on the same
+  actor, and their ``protocol`` arg matches the enclosing span's;
+* phase order within one round is non-decreasing (``phase2`` never before
+  ``phase1``); a ``restart`` instant starts a new round;
+* recorded quorum sizes meet the configured threshold (``min_quorum``);
+* weight-transfer spans balance, ``E`` args agree with their ``B`` args
+  (same target, same delta), and effective transfers conserve total weight
+  across the run to within ``weight_tolerance``.
+
+Every check degrades cleanly on an empty trace: zero records, zero
+findings, verdict *ok*.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.trace import validate_record
+
+__all__ = [
+    "TraceEvent",
+    "Finding",
+    "InvariantReport",
+    "parse_events",
+    "check_trace_invariants",
+]
+
+_EMPTY_ARGS: Mapping[str, Any] = {}
+
+#: Trailing integer of a quorum phase name ("phase1" -> 1); phases without
+#: one ("probe", "gossip") opt out of the ordering check.
+_PHASE_INDEX = re.compile(r"(\d+)$")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record, parsed into a typed, attribute-addressable event."""
+
+    seq: int
+    ts: float
+    cat: str
+    name: str
+    ph: str
+    actor: str = ""
+    args: Mapping[str, Any] = field(default_factory=dict)
+    flow: Optional[int] = None
+
+    @property
+    def is_span_begin(self) -> bool:
+        return self.ph == "B"
+
+    @property
+    def is_span_end(self) -> bool:
+        return self.ph == "E"
+
+    @property
+    def is_flow(self) -> bool:
+        return self.ph in ("s", "f")
+
+
+def parse_events(records: Iterable[Mapping[str, Any]]) -> List[TraceEvent]:
+    """Parse flat trace records into a typed event stream.
+
+    Records are validated against the schema (including ``seq`` ordering);
+    the first invalid record raises :class:`ConfigurationError` with its
+    position.  An empty input parses to an empty stream.
+    """
+    events: List[TraceEvent] = []
+    for record in records:
+        problems = validate_record(record, expect_seq=len(events))
+        if problems:
+            raise ConfigurationError(
+                f"trace record {len(events)}: invalid: " + "; ".join(problems)
+            )
+        events.append(
+            TraceEvent(
+                seq=record["seq"],
+                ts=record["ts"],
+                cat=record["cat"],
+                name=record["name"],
+                ph=record["ph"],
+                actor=record.get("actor", ""),
+                args=record.get("args", _EMPTY_ARGS),
+                flow=record.get("id"),
+            )
+        )
+    return events
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One invariant violation (or suspicious-but-legal condition)."""
+
+    severity: str  #: ``"error"`` or ``"warning"``
+    check: str  #: stable identifier of the invariant that fired
+    seq: Optional[int]  #: offending record, or ``None`` for whole-trace checks
+    message: str
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "severity": self.severity,
+            "check": self.check,
+            "seq": self.seq,
+            "message": self.message,
+        }
+
+
+@dataclass
+class InvariantReport:
+    """The verdict of :func:`check_trace_invariants`."""
+
+    findings: List[Finding]
+    counters: Dict[str, Any]
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        """True when no *error*-severity finding fired (warnings allowed)."""
+        return not self.errors
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "findings": [f.as_dict() for f in self.findings],
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+        }
+
+
+def check_trace_invariants(
+    records: Iterable[Mapping[str, Any]],
+    min_quorum: int = 1,
+    weight_tolerance: float = 1e-9,
+) -> InvariantReport:
+    """Run every structural and semantic invariant over ``records``.
+
+    ``min_quorum`` is the smallest quorum size the configuration allows
+    (pass the threshold the run was built with to make the check sharp;
+    the default ``1`` only rejects degenerate empty quorums).
+    """
+    events = parse_events(records)
+    findings: List[Finding] = []
+
+    # -- structural: monotone virtual time ---------------------------------
+    previous_ts = 0.0
+    for event in events:
+        if event.ts < previous_ts:
+            findings.append(Finding(
+                "error", "monotone-ts", event.seq,
+                f"ts went backwards: {event.ts} after {previous_ts}",
+            ))
+        previous_ts = max(previous_ts, event.ts)
+
+    # -- structural: balanced B/E spans per (actor, name) ------------------
+    open_spans: Dict[Tuple[str, str], List[TraceEvent]] = {}
+    closed_spans = 0
+    for event in events:
+        key = (event.actor, event.name)
+        if event.is_span_begin:
+            open_spans.setdefault(key, []).append(event)
+        elif event.is_span_end:
+            stack = open_spans.get(key)
+            if not stack:
+                findings.append(Finding(
+                    "error", "span-balance", event.seq,
+                    f"E record for {event.cat}/{event.name} on actor "
+                    f"{event.actor!r} closes no open span",
+                ))
+            else:
+                stack.pop()
+                closed_spans += 1
+    unclosed = sorted(
+        (stack_event.seq, key)
+        for key, stack in open_spans.items()
+        for stack_event in stack
+    )
+    for seq, (actor, name) in unclosed:
+        findings.append(Finding(
+            "warning", "span-balance", seq,
+            f"span {name!r} on actor {actor!r} still open at end of trace",
+        ))
+
+    # -- structural: flow pairing ------------------------------------------
+    flow_starts: Dict[int, TraceEvent] = {}
+    finished_flows = 0
+    for event in events:
+        if event.ph == "s":
+            assert event.flow is not None  # schema-validated above
+            if event.flow in flow_starts:
+                findings.append(Finding(
+                    "error", "flow-pairing", event.seq,
+                    f"flow id {event.flow} started twice "
+                    f"(first at seq {flow_starts[event.flow].seq})",
+                ))
+            else:
+                flow_starts[event.flow] = event
+        elif event.ph == "f":
+            assert event.flow is not None
+            start = flow_starts.pop(event.flow, None)
+            if start is None:
+                findings.append(Finding(
+                    "error", "flow-pairing", event.seq,
+                    f"flow id {event.flow} finishes without a start "
+                    "(or finished twice)",
+                ))
+            else:
+                finished_flows += 1
+                if start.name != event.name:
+                    findings.append(Finding(
+                        "error", "flow-pairing", event.seq,
+                        f"flow id {event.flow} finishes as {event.name!r} "
+                        f"but started as {start.name!r}",
+                    ))
+    open_flows = len(flow_starts)
+    if open_flows:
+        findings.append(Finding(
+            "warning", "flow-pairing", None,
+            f"{open_flows} flow(s) never finished "
+            "(dropped or in flight at end of trace)",
+        ))
+
+    # -- semantic: quorum phases nest inside operation spans ----------------
+    # Track the innermost open op span per actor with an explicit stack;
+    # quorum instants must land inside one and agree on the protocol.
+    op_stack: Dict[str, List[TraceEvent]] = {}
+    round_phase: Dict[str, int] = {}  # innermost round's highest phase index
+    quorum_phases = 0
+    for event in events:
+        if event.cat == "op" and event.is_span_begin:
+            op_stack.setdefault(event.actor, []).append(event)
+            round_phase[event.actor] = 0
+        elif event.cat == "op" and event.is_span_end:
+            stack = op_stack.get(event.actor)
+            if stack:
+                stack.pop()
+            round_phase[event.actor] = 0
+        elif event.cat == "op" and event.name == "restart":
+            # A restart abandons the current round: phase ordering restarts.
+            round_phase[event.actor] = 0
+        elif event.cat == "quorum":
+            quorum_phases += 1
+            stack = op_stack.get(event.actor)
+            if not stack:
+                findings.append(Finding(
+                    "error", "quorum-nesting", event.seq,
+                    f"quorum phase {event.name!r} on actor {event.actor!r} "
+                    "outside any operation span",
+                ))
+            else:
+                enclosing = stack[-1].args.get("protocol")
+                recorded = event.args.get("protocol")
+                if (enclosing is not None and recorded is not None
+                        and enclosing != recorded):
+                    findings.append(Finding(
+                        "error", "quorum-nesting", event.seq,
+                        f"quorum phase protocol {recorded!r} does not match "
+                        f"enclosing operation protocol {enclosing!r}",
+                    ))
+            match = _PHASE_INDEX.search(event.name)
+            if match:
+                index = int(match.group(1))
+                if index < round_phase.get(event.actor, 0):
+                    findings.append(Finding(
+                        "error", "quorum-phase-order", event.seq,
+                        f"phase {event.name!r} after phase"
+                        f"{round_phase[event.actor]} in the same round",
+                    ))
+                round_phase[event.actor] = max(
+                    round_phase.get(event.actor, 0), index
+                )
+            size = event.args.get("size")
+            if isinstance(size, int) and size < min_quorum:
+                findings.append(Finding(
+                    "error", "quorum-size", event.seq,
+                    f"quorum size {size} below configured minimum "
+                    f"{min_quorum}",
+                ))
+
+    # -- semantic: transfer span consistency + weight conservation ----------
+    transfer_stack: Dict[str, List[TraceEvent]] = {}
+    net_weight: Dict[str, float] = {}
+    effective_transfers = 0
+    for event in events:
+        if event.cat != "transfer":
+            continue
+        if event.is_span_begin:
+            transfer_stack.setdefault(event.actor, []).append(event)
+        elif event.is_span_end:
+            stack = transfer_stack.get(event.actor)
+            begin = stack.pop() if stack else None
+            if begin is not None:
+                for key in ("delta", "target"):
+                    if begin.args.get(key) != event.args.get(key):
+                        findings.append(Finding(
+                            "error", "transfer-balance", event.seq,
+                            f"transfer end {key}={event.args.get(key)!r} "
+                            f"disagrees with its begin "
+                            f"{key}={begin.args.get(key)!r} (seq {begin.seq})",
+                        ))
+            if event.args.get("effective"):
+                delta = float(event.args.get("delta", 0.0))
+                target = str(event.args.get("target", ""))
+                net_weight[event.actor] = net_weight.get(event.actor, 0.0) - delta
+                net_weight[target] = net_weight.get(target, 0.0) + delta
+                effective_transfers += 1
+    imbalance = sum(net_weight.values())
+    if abs(imbalance) > weight_tolerance:
+        findings.append(Finding(
+            "error", "weight-conservation", None,
+            f"effective transfers do not conserve weight: net {imbalance!r}",
+        ))
+
+    counters = {
+        "records": len(events),
+        "closed_spans": closed_spans,
+        "open_spans": len(unclosed),
+        "finished_flows": finished_flows,
+        "open_flows": open_flows,
+        "quorum_phases": quorum_phases,
+        "effective_transfers": effective_transfers,
+        "net_weight": imbalance,
+    }
+    findings.sort(key=lambda f: (f.seq if f.seq is not None else len(events),
+                                 f.check, f.message))
+    return InvariantReport(findings=findings, counters=counters)

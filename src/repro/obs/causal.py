@@ -1,0 +1,268 @@
+"""Causal graph, critical path, and latency attribution for traces.
+
+``python -m repro trace critical-path`` answers "where did this
+operation's latency go?".  The trace already encodes causality:
+
+* records on one actor are totally ordered (program order);
+* ``s``/``f`` flow records link a message send to its delivery.
+
+Those two edge kinds make the trace a DAG, and because every edge's weight
+is the virtual-time difference between its endpoints, *any* path from an
+operation's ``B`` record to its ``E`` record telescopes to exactly the
+operation's duration.  Attribution therefore does not need a longest-path
+search — it needs the *causally gating* chain: starting from the ``E``
+record and walking backwards, each record's immediate cause is
+
+* for an ``f`` record, the ``s`` record that sent the message (the
+  delivery was gated by the send plus network latency);
+* for everything else, the previous record on the same actor (the actor
+  was busy with, or waiting after, whatever it did last).
+
+The walk is clamped to the operation window (records before ``B`` fall
+back to ``B`` itself), so it always terminates at ``B`` and the segment
+durations always sum to the span duration — the property the test-suite
+checks on every registered scenario.
+
+Each backward step is attributed to one of four categories:
+
+==========  ==========================================================
+category    meaning
+==========  ==========================================================
+restart     everything before the operation's last ``restart`` instant
+            — rounds whose work was discarded
+network     an ``s`` → ``f`` flow edge: message in flight
+quorum      actor-order time ending at a quorum phase record: the
+            protocol assembling its quorum decision
+queue       all other actor-order time: local processing and waiting
+==========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.obs.analysis import TraceEvent, parse_events
+
+__all__ = [
+    "ATTRIBUTION_CATEGORIES",
+    "Operation",
+    "PathStep",
+    "extract_operations",
+    "critical_path",
+    "critical_path_report",
+]
+
+ATTRIBUTION_CATEGORIES = ("queue", "network", "quorum", "restart")
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One completed operation span (``cat="op"``, matched ``B``/``E``)."""
+
+    actor: str
+    kind: str
+    protocol: str
+    begin_seq: int
+    end_seq: int
+    begin_ts: float
+    end_ts: float
+    restarts: int
+    contacted: int
+
+    @property
+    def duration(self) -> float:
+        return self.end_ts - self.begin_ts
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One backward step of the critical path: ``pred_seq`` caused ``seq``."""
+
+    seq: int
+    pred_seq: int
+    category: str
+    elapsed: float
+
+
+def extract_operations(events: List[TraceEvent]) -> List[Operation]:
+    """Completed operation spans, in begin order.
+
+    ``B``/``E`` records are matched per ``(actor, name)`` with a LIFO stack
+    (nested server-side operations match innermost-first, the way the
+    instrumentation emits them).  Spans still open at end-of-trace are
+    skipped — there is no end to attribute to.
+    """
+    stacks: Dict[Tuple[str, str], List[TraceEvent]] = {}
+    operations: List[Operation] = []
+    for event in events:
+        if event.cat != "op":
+            continue
+        key = (event.actor, event.name)
+        if event.is_span_begin:
+            stacks.setdefault(key, []).append(event)
+        elif event.is_span_end:
+            stack = stacks.get(key)
+            if not stack:
+                continue  # truncated trace: unmatched E, nothing to measure
+            begin = stack.pop()
+            operations.append(Operation(
+                actor=event.actor,
+                kind=event.name,
+                protocol=str(begin.args.get("protocol", "")),
+                begin_seq=begin.seq,
+                end_seq=event.seq,
+                begin_ts=begin.ts,
+                end_ts=event.ts,
+                restarts=int(event.args.get("restarts", 0)),
+                contacted=int(event.args.get("contacted", 0)),
+            ))
+    operations.sort(key=lambda op: op.begin_seq)
+    return operations
+
+
+def _actor_predecessors(events: List[TraceEvent]) -> List[int]:
+    """For each event index, the index of the previous same-actor event (-1)."""
+    last_seen: Dict[str, int] = {}
+    predecessors: List[int] = []
+    for index, event in enumerate(events):
+        predecessors.append(last_seen.get(event.actor, -1))
+        last_seen[event.actor] = index
+    return predecessors
+
+
+def _flow_sources(events: List[TraceEvent]) -> Dict[int, int]:
+    """Map each ``f`` record's seq to its ``s`` record's seq."""
+    starts: Dict[int, int] = {}
+    sources: Dict[int, int] = {}
+    for event in events:
+        if event.ph == "s" and event.flow is not None:
+            starts[event.flow] = event.seq
+        elif event.ph == "f" and event.flow is not None:
+            source = starts.get(event.flow)
+            if source is not None:
+                sources[event.seq] = source
+    return sources
+
+
+def critical_path(
+    events: List[TraceEvent],
+    operation: Operation,
+    actor_pred: Optional[List[int]] = None,
+    flow_src: Optional[Dict[int, int]] = None,
+) -> List[PathStep]:
+    """The gating chain from ``operation``'s end back to its begin.
+
+    Returned in forward (begin → end) order.  Pass precomputed
+    ``actor_pred`` / ``flow_src`` indices when attributing many operations
+    of one trace (``critical_path_report`` does).
+    """
+    if actor_pred is None:
+        actor_pred = _actor_predecessors(events)
+    if flow_src is None:
+        flow_src = _flow_sources(events)
+    begin = events[operation.begin_seq]
+    steps: List[PathStep] = []
+    restart_seen = False
+    current = events[operation.end_seq]
+    while current.seq > begin.seq:
+        via_flow = False
+        pred_seq = -1
+        if current.ph == "f" and current.seq in flow_src:
+            pred_seq = flow_src[current.seq]
+            via_flow = True
+        if not via_flow:
+            pred_seq = actor_pred[current.seq]
+        if pred_seq < begin.seq:
+            # The chain left the operation window (activity predating the
+            # operation); the operation's own begin is the causal floor.
+            pred_seq = begin.seq
+            via_flow = False
+        pred = events[pred_seq]
+        if current.cat == "op" and current.name == "restart":
+            restart_seen = True
+        if restart_seen:
+            category = "restart"
+        elif via_flow:
+            category = "network"
+        elif current.cat == "quorum":
+            category = "quorum"
+        else:
+            category = "queue"
+        steps.append(PathStep(
+            seq=current.seq,
+            pred_seq=pred.seq,
+            category=category,
+            elapsed=current.ts - pred.ts,
+        ))
+        current = pred
+    steps.reverse()
+    return steps
+
+
+def critical_path_report(
+    records: Iterable[Mapping[str, Any]],
+) -> Dict[str, Any]:
+    """Attribute every completed operation's latency, plus aggregates.
+
+    Returns a JSON-ready dict::
+
+        {
+          "records": <int>,
+          "operations": [{"actor", "kind", "protocol", "begin_seq",
+                          "begin_ts", "duration", "restarts",
+                          "path_length", "attribution": {category: time}},
+                         ...],
+          "by_kind": {kind: {"count", "total_duration", "mean_duration",
+                             "attribution": {category: time}}, ...},
+          "categories": {category: total time across all operations},
+        }
+
+    For every operation the attribution categories sum to its span
+    duration (up to float addition order) — the telescoping property the
+    module docstring explains.  An empty trace yields an empty report.
+    """
+    events = parse_events(records)
+    actor_pred = _actor_predecessors(events)
+    flow_src = _flow_sources(events)
+    operations = extract_operations(events)
+
+    op_rows: List[Dict[str, Any]] = []
+    by_kind: Dict[str, Dict[str, Any]] = {}
+    totals = {category: 0.0 for category in ATTRIBUTION_CATEGORIES}
+    for operation in operations:
+        steps = critical_path(events, operation, actor_pred, flow_src)
+        attribution = {category: 0.0 for category in ATTRIBUTION_CATEGORIES}
+        for step in steps:
+            attribution[step.category] += step.elapsed
+        op_rows.append({
+            "actor": operation.actor,
+            "kind": operation.kind,
+            "protocol": operation.protocol,
+            "begin_seq": operation.begin_seq,
+            "begin_ts": operation.begin_ts,
+            "duration": operation.duration,
+            "restarts": operation.restarts,
+            "path_length": len(steps),
+            "attribution": attribution,
+        })
+        aggregate = by_kind.setdefault(operation.kind, {
+            "count": 0,
+            "total_duration": 0.0,
+            "attribution": {c: 0.0 for c in ATTRIBUTION_CATEGORIES},
+        })
+        aggregate["count"] += 1
+        aggregate["total_duration"] += operation.duration
+        for category, elapsed in attribution.items():
+            aggregate["attribution"][category] += elapsed
+            totals[category] += elapsed
+    for aggregate in by_kind.values():
+        aggregate["mean_duration"] = (
+            aggregate["total_duration"] / aggregate["count"]
+        )
+    return {
+        "records": len(events),
+        "operations": op_rows,
+        "by_kind": {kind: by_kind[kind] for kind in sorted(by_kind)},
+        "categories": totals,
+    }

@@ -1,0 +1,118 @@
+"""Cross-run trace diff: the first-divergence finder.
+
+Two runs of the same scenario are supposed to produce byte-identical
+traces; the digest gate tells you *whether* they did, this module tells
+you *where* they stopped agreeing.  :func:`diff_traces` walks two record
+streams in lockstep and reports the earliest position where they differ —
+the record's ``seq``, a field-level delta (which keys changed and both
+values), and a window of surrounding context from each trace — turning
+"digests differ" into a pointer at the first diverging event, which for a
+deterministic simulation is the event *causing* every later difference.
+
+Divergence kinds:
+
+* ``"field"``  — both traces have a record at that position but the
+  records disagree (the delta lists each differing key);
+* ``"length"`` — one trace is a strict prefix of the other (the delta
+  shows the first surplus record of the longer trace).
+
+Identical traces (including two empty traces) diff to ``None``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["diff_traces", "format_divergence"]
+
+_ABSENT = "<absent>"
+
+
+def _field_delta(
+    a: Mapping[str, Any], b: Mapping[str, Any]
+) -> Dict[str, Dict[str, Any]]:
+    """Per-key delta between two records: ``{key: {"a": ..., "b": ...}}``."""
+    delta: Dict[str, Dict[str, Any]] = {}
+    for key in sorted(set(a) | set(b)):
+        if a.get(key, _ABSENT) != b.get(key, _ABSENT):
+            delta[key] = {"a": a.get(key, _ABSENT), "b": b.get(key, _ABSENT)}
+    return delta
+
+
+def diff_traces(
+    a_records: Sequence[Mapping[str, Any]],
+    b_records: Sequence[Mapping[str, Any]],
+    context: int = 3,
+) -> Optional[Dict[str, Any]]:
+    """The earliest divergence between two traces, or ``None`` if identical.
+
+    ``context`` records preceding the divergence are included from each
+    trace (they are identical by construction — the divergence is the
+    *first* difference — so they describe the shared prefix the runs
+    agreed on).
+    """
+    context = max(0, context)
+    for index in range(min(len(a_records), len(b_records))):
+        a, b = a_records[index], b_records[index]
+        if a == b:
+            continue
+        return {
+            "kind": "field",
+            "seq": a.get("seq", index),
+            "fields": _field_delta(a, b),
+            "a": dict(a),
+            "b": dict(b),
+            "context": [dict(r) for r in a_records[max(0, index - context):index]],
+            "a_records": len(a_records),
+            "b_records": len(b_records),
+        }
+    if len(a_records) != len(b_records):
+        longer, label = (
+            (a_records, "a") if len(a_records) > len(b_records) else (b_records, "b")
+        )
+        index = min(len(a_records), len(b_records))
+        return {
+            "kind": "length",
+            "seq": longer[index].get("seq", index),
+            "fields": {},
+            "first_surplus": dict(longer[index]),
+            "surplus_in": label,
+            "context": [dict(r) for r in longer[max(0, index - context):index]],
+            "a_records": len(a_records),
+            "b_records": len(b_records),
+        }
+    return None
+
+
+def format_divergence(divergence: Optional[Dict[str, Any]]) -> str:
+    """Human-readable rendering of a :func:`diff_traces` result."""
+    if divergence is None:
+        return "traces are identical"
+    lines: List[str] = []
+    if divergence["kind"] == "field":
+        lines.append(
+            f"first divergence at seq {divergence['seq']} "
+            f"(a: {divergence['a_records']} records, "
+            f"b: {divergence['b_records']} records)"
+        )
+        for key, delta in divergence["fields"].items():
+            lines.append(f"  {key}: a={delta['a']!r}  b={delta['b']!r}")
+        lines.append(f"  a: {json.dumps(divergence['a'], sort_keys=True)}")
+        lines.append(f"  b: {json.dumps(divergence['b'], sort_keys=True)}")
+    else:
+        lines.append(
+            f"trace {divergence['surplus_in']} continues past the other's "
+            f"end at seq {divergence['seq']} "
+            f"(a: {divergence['a_records']} records, "
+            f"b: {divergence['b_records']} records)"
+        )
+        lines.append(
+            "  first surplus: "
+            + json.dumps(divergence["first_surplus"], sort_keys=True)
+        )
+    if divergence["context"]:
+        lines.append("  shared prefix context:")
+        for record in divergence["context"]:
+            lines.append("    " + json.dumps(record, sort_keys=True))
+    return "\n".join(lines)

@@ -244,6 +244,32 @@ class TestChromeExport:
         loaded = json.loads(path.read_text())
         assert "traceEvents" in loaded
 
+    def test_flow_arrows_survive_export_as_paired_s_f_events(self):
+        recorder = TraceRecorder()
+        read_flow = recorder.next_flow_id()
+        write_flow = recorder.next_flow_id()
+        recorder.emit(ts=0.0, cat="net", name="RC", ph="s", actor="c1",
+                      flow=read_flow)
+        recorder.emit(ts=0.1, cat="net", name="WC", ph="s", actor="c1",
+                      flow=write_flow)
+        recorder.emit(ts=1.0, cat="net", name="RC", ph="f", actor="s1",
+                      flow=read_flow)
+        recorder.emit(ts=1.5, cat="net", name="WC", ph="f", actor="s2",
+                      flow=write_flow)
+        events = to_chrome_trace(recorder.records)["traceEvents"]
+        starts = {e["id"]: e for e in events if e["ph"] == "s"}
+        finishes = {e["id"]: e for e in events if e["ph"] == "f"}
+        # every start has exactly one finish with the same id and name,
+        # and both carry the binding-point marker Perfetto needs to draw
+        # the arrow to the enclosing slice
+        assert set(starts) == set(finishes) == {read_flow, write_flow}
+        for flow_id, start in starts.items():
+            finish = finishes[flow_id]
+            assert finish["name"] == start["name"]
+            assert start["bp"] == "e" and finish["bp"] == "e"
+            assert finish["ts"] > start["ts"]
+            assert finish["tid"] != start["tid"]  # arrow crosses actors
+
 
 class TestSummarizeTrace:
     def test_span_matching_and_category_counts(self):
@@ -265,6 +291,33 @@ class TestSummarizeTrace:
         summary = summarize_trace(recorder.records)
         assert summary["open_spans"] == 1
         assert summary["unmatched_ends"] == 1
+
+    def test_nested_same_name_spans_match_lifo(self):
+        # Recursive spans on one actor (the weight-gain refresh shape):
+        # B(0) B(1) E(3) E(7) pairs inner-first — durations (3-1) + (7-0),
+        # every level accounted exactly once.
+        recorder = TraceRecorder()
+        recorder.emit(ts=0.0, cat="op", name="refresh", ph="B", actor="s1")
+        recorder.emit(ts=1.0, cat="op", name="refresh", ph="B", actor="s1")
+        recorder.emit(ts=3.0, cat="op", name="refresh", ph="E", actor="s1")
+        recorder.emit(ts=7.0, cat="op", name="refresh", ph="E", actor="s1")
+        summary = summarize_trace(recorder.records)
+        span = summary["spans"]["op/refresh"]
+        assert span["count"] == 2
+        assert span["total_time"] == pytest.approx(2.0 + 7.0)
+        assert summary["open_spans"] == 0
+        assert summary["unmatched_ends"] == 0
+
+    def test_nested_spans_interleaved_across_actors_stay_separate(self):
+        recorder = TraceRecorder()
+        recorder.emit(ts=0.0, cat="op", name="read", ph="B", actor="c1")
+        recorder.emit(ts=0.5, cat="op", name="read", ph="B", actor="c2")
+        recorder.emit(ts=2.0, cat="op", name="read", ph="E", actor="c1")
+        recorder.emit(ts=4.0, cat="op", name="read", ph="E", actor="c2")
+        span = summarize_trace(recorder.records)["spans"]["op/read"]
+        assert span["count"] == 2
+        # c1 gets 2.0 and c2 gets 3.5 -- the stacks are per (actor, name)
+        assert span["total_time"] == pytest.approx(5.5)
 
 
 # ---------------------------------------------------------------------------

@@ -42,8 +42,12 @@ _SKIP_SCHEMES = ("http://", "https://", "mailto:")
 # Sections other documentation (and CI jobs) deep-link into.  Paths are
 # repo-relative; headings must appear verbatim at line start.
 REQUIRED_SECTIONS = {
-    "docs/ARCHITECTURE.md": ["## Observability"],
-    "README.md": ["## Scenario catalogue", "## Tracing a run"],
+    "docs/ARCHITECTURE.md": ["## Observability", "## Trace analytics"],
+    "README.md": [
+        "## Scenario catalogue",
+        "## Tracing a run",
+        "## Analyzing a trace",
+    ],
 }
 
 

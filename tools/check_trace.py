@@ -2,11 +2,15 @@
 """The trace regression gate (the CI trace job).
 
 Runs the ``fig1-walkthrough`` scenario with tracing enabled, then asserts
-three things about the trace file it produced:
+four things about the trace file it produced:
 
 * **schema** — every JSONL line validates against the record schema in
   :mod:`repro.obs.trace` (closed category/phase sets, ordered ``seq``,
   flow records carry ids);
+* **invariants** — the structural and semantic checks in
+  :mod:`repro.obs.analysis` hold (balanced spans, paired flows, quorum
+  nesting, weight conservation) — the same verdict as
+  ``python -m repro trace check``;
 * **digest** — the SHA-256 of the file matches the golden digest committed
   in ``benchmarks/baselines/fig1-walkthrough.trace.sha256``.  Because the
   digest is defined over the canonical JSONL bytes, this pins the *exact*
@@ -14,10 +18,15 @@ three things about the trace file it produced:
 * **exporter** — the Chrome ``trace_event`` conversion succeeds and yields
   one event per record plus thread-name metadata (the file Perfetto loads).
 
-A digest mismatch means event ordering or instrumentation changed.  If the
-change is intentional, regenerate the golden file::
+A digest mismatch means event ordering or instrumentation changed.  To
+reproduce the digest gate locally with one command::
 
     PYTHONPATH=src python -m repro run fig1-walkthrough --trace out.jsonl --quiet
+    PYTHONPATH=src python -m repro trace digest out.jsonl \
+        --check benchmarks/baselines/fig1-walkthrough.trace.sha256
+
+If the change is intentional, regenerate the golden file::
+
     sha256sum out.jsonl | cut -d' ' -f1 > benchmarks/baselines/fig1-walkthrough.trace.sha256
 
 Run from anywhere: ``python tools/check_trace.py [--keep PATH]``.  With
@@ -44,7 +53,7 @@ SCENARIO = "fig1-walkthrough"
 
 def check_trace(trace_path: str) -> int:
     from repro.experiments.cli import main as repro_main
-    from repro.obs import read_trace, to_chrome_trace
+    from repro.obs import check_trace_invariants, read_trace, to_chrome_trace
 
     status = repro_main(["run", SCENARIO, "--trace", trace_path, "--quiet"])
     if status != 0:
@@ -57,6 +66,14 @@ def check_trace(trace_path: str) -> int:
     records = read_trace(trace_path)
     if not records:
         print(f"error: {trace_path} contains no trace records", file=sys.stderr)
+        return 1
+
+    # Invariants: the structural/semantic checks behind `repro trace check`.
+    report = check_trace_invariants(records)
+    if not report.ok:
+        for finding in report.errors:
+            print(f"error: invariant [{finding.check}] seq {finding.seq}: "
+                  f"{finding.message}", file=sys.stderr)
         return 1
 
     with open(GOLDEN_FILE, "r", encoding="utf-8") as handle:
@@ -86,8 +103,9 @@ def check_trace(trace_path: str) -> int:
         return 1
 
     print(
-        f"trace ok: {SCENARIO} produced {len(records)} schema-valid records, "
-        f"digest {actual[:12]}... matches golden, exporter emits "
+        f"trace ok: {SCENARIO} produced {len(records)} schema-valid records "
+        f"({len(report.warnings)} invariant warning(s), 0 errors), digest "
+        f"{actual[:12]}... matches golden, exporter emits "
         f"{len(events)} Chrome events"
     )
     return 0
