@@ -13,6 +13,12 @@ Subcommands:
   file instead of a registered scenario.  Progress is reported per run on
   stderr, and ``--jsonl`` streams results to a chunked sink as they
   complete instead of holding the whole sweep in memory.
+* ``chaos``    — run a chaos campaign over a declarative scenario: LHS-
+  sample its fault space (outages, partitions, gray failures), execute
+  every sampled configuration with tracing enabled, judge each run with
+  the oracle stack (trace invariants, result accounting, latency
+  degradation vs baseline), and emit a deterministic ranked JSONL report;
+  ``--out-dir`` writes the worst configurations as ready-to-run spec files.
 * ``compare``  — diff a result JSON/JSONL against a baseline (runs are
   matched by ``run_id``, so completion order does not matter).
 * ``bench``    — run the registered microbenchmarks (events/sec, ops/sec,
@@ -496,6 +502,60 @@ def _cmd_trace_series(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import run_campaign
+
+    scenario = _resolve_scenario(args)
+    times = tuple(
+        _parse_value(value) for value in args.times.split(",") if value != ""
+    )
+    progress = None
+    if not args.no_progress:
+        def progress(done: int, total: int) -> None:
+            print(f"[{done}/{total}] chaos runs completed", file=sys.stderr)
+    campaign = run_campaign(
+        scenario,
+        sample=args.sample,
+        seed=args.seed,
+        workers=args.workers,
+        benign=args.benign,
+        times=times,
+        outage_length=args.outage_length,
+        window_length=args.window_length,
+        min_quorum=args.min_quorum,
+        degradation_threshold=args.threshold,
+        keep_traces=args.keep_traces,
+        progress=progress,
+    )
+    if args.report:
+        campaign.write(args.report)
+        print(f"report: {args.report}", file=sys.stderr)
+    elif not args.quiet:
+        for line in campaign.jsonl_lines():
+            print(line)
+    if args.out_dir:
+        for path in campaign.write_worst_specs(args.out_dir, top=args.top):
+            print(f"spec: {path}", file=sys.stderr)
+    meta = campaign.header["campaign"]
+    print(
+        f"campaign over {scenario!r}: {meta['runs']} run(s), "
+        f"{meta['violations']} violation(s), {meta['degraded']} degraded "
+        f"(>= {meta['degradation_threshold']}x p99), {meta['failed']} failed",
+        file=sys.stderr,
+    )
+    for rank, severity, violations, degradation, run_id in campaign.summary_rows(
+        top=min(args.top, len(campaign.entries))
+    ):
+        print(
+            f"  #{rank} severity={severity} violations={violations} "
+            f"degradation={degradation} {run_id}",
+            file=sys.stderr,
+        )
+    if args.fail_on_violations and campaign.violations:
+        return 1
+    return 0
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     diffs = compare_payloads(
         load_payload(args.current),
@@ -628,6 +688,80 @@ def build_parser() -> argparse.ArgumentParser:
                          help="suppress per-run progress lines on stderr")
     p_sweep.add_argument("--quiet", action="store_true", help="suppress stdout JSON")
     p_sweep.set_defaults(fn=_cmd_sweep)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="LHS fault-space search with trace-invariant oracles",
+        description="Run a chaos campaign over a declarative scenario: "
+        "Latin-hypercube sample its fault space (crash/recover outages, "
+        "partition windows, gray slow-but-alive nodes), execute every "
+        "sampled configuration with tracing enabled, judge each run with "
+        "the oracle stack (trace invariants, result accounting, latency "
+        "degradation against the scenario's own baseline), and print a "
+        "ranked JSONL report.  The report is deterministic: same scenario, "
+        "sample size and seed produce byte-identical output for any "
+        "--workers count and any PYTHONHASHSEED.",
+        epilog="quickstart:\n"
+        "  python -m repro chaos --scenario quickstart --sample 16 --seed 0\n"
+        "  python -m repro chaos --scenario quickstart --sample 32 "
+        "--workers 4 \\\n      --report campaign.jsonl --out-dir specs/ --top 3\n"
+        "  python -m repro chaos --spec examples/specs/fig1-walkthrough.json "
+        "\\\n      --benign --times 30,40,50 --fail-on-violations\n"
+        "  python -m repro run --spec specs/quickstart-chaos-1.json\n",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p_chaos.add_argument("--scenario", dest="scenario",
+                         help="registered declarative scenario to campaign "
+                         "over (or use --spec)")
+    p_chaos.add_argument("--spec", dest="spec_path", metavar="PATH",
+                         help="campaign over a JSON spec file instead of a "
+                         "registered scenario")
+    p_chaos.add_argument("--sample", type=int, default=16, metavar="N",
+                         help="Latin-hypercube sample size (default 16)")
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="sampling seed (default 0); the whole report "
+                         "is deterministic in it")
+    p_chaos.add_argument("--workers", type=int, default=1,
+                         help="worker processes (report is byte-identical "
+                         "for any count)")
+    p_chaos.add_argument("--benign", action="store_true",
+                         help="restrict the fault space to the benign "
+                         "region (every fault recovers within budget); a "
+                         "correct build must pass it with zero violations")
+    p_chaos.add_argument("--times", default="4,8,12", metavar="T1,T2,...",
+                         help="candidate injection instants in virtual time "
+                         "(default 4,8,12); move them past the scenario's "
+                         "own scheduled events")
+    p_chaos.add_argument("--outage-length", type=float, default=8.0,
+                         metavar="T", help="crash-to-recovery window length "
+                         "(default 8)")
+    p_chaos.add_argument("--window-length", type=float, default=8.0,
+                         metavar="T", help="partition window length "
+                         "(default 8)")
+    p_chaos.add_argument("--min-quorum", type=int, default=1, metavar="N",
+                         help="smallest quorum size the configuration "
+                         "allows, for the trace-invariant oracle (default 1)")
+    p_chaos.add_argument("--threshold", type=float, default=2.0, metavar="X",
+                         help="p99 ratio counted as degraded (default 2.0)")
+    p_chaos.add_argument("--report", metavar="PATH",
+                         help="write the JSONL report here instead of stdout")
+    p_chaos.add_argument("--out-dir", metavar="DIR",
+                         help="emit the --top worst configurations as "
+                         "ready-to-run spec files into DIR")
+    p_chaos.add_argument("--top", type=int, default=3, metavar="K",
+                         help="how many worst configurations to emit/show "
+                         "(default 3)")
+    p_chaos.add_argument("--keep-traces", metavar="DIR",
+                         help="keep per-run traces in DIR (by sample index) "
+                         "instead of a temporary directory")
+    p_chaos.add_argument("--fail-on-violations", action="store_true",
+                         help="exit 1 if any sampled run violates an oracle "
+                         "(the CI smoke gate for --benign campaigns)")
+    p_chaos.add_argument("--no-progress", action="store_true",
+                         help="suppress per-run progress lines on stderr")
+    p_chaos.add_argument("--quiet", action="store_true",
+                         help="suppress the stdout JSONL report")
+    p_chaos.set_defaults(fn=_cmd_chaos)
 
     p_compare = sub.add_parser(
         "compare",

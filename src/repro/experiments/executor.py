@@ -29,6 +29,8 @@ from __future__ import annotations
 
 import atexit
 import multiprocessing
+import sys
+import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -39,8 +41,10 @@ from repro.experiments.sweep import RunSpec
 __all__ = [
     "RunResult",
     "execute_run",
+    "execute_run_captured",
     "execute_many",
     "execute_stream",
+    "run_with_stable_stack",
     "shutdown_pool",
 ]
 
@@ -68,9 +72,118 @@ def execute_run(run: RunSpec) -> RunResult:
     return RunResult(scenario=run.scenario, params=run.params, result=result)
 
 
+def execute_run_captured(run: RunSpec) -> RunResult:
+    """Like :func:`execute_run`, but a failing run *is* a result.
+
+    Any :class:`~repro.errors.ReproError` the run raises — a deadlocked
+    kernel after crashing beyond ``f``, a timeout, a configuration the
+    builder rejects — comes back as ``{"error": {"type", "message"}}``
+    instead of propagating.  Chaos campaigns deliberately sample
+    configurations that kill the run; with plain :func:`execute_run` the
+    first such run would tear down the whole ``imap_unordered`` stream.
+    The captured dict is deterministic (exception type and message only),
+    so campaign reports stay byte-identical across serial and parallel
+    execution.
+    """
+    from repro.errors import ReproError
+
+    try:
+        return execute_run(run)
+    except ReproError as error:
+        return RunResult(
+            scenario=run.scenario,
+            params=run.params,
+            result={
+                "scenario": run.scenario,
+                "error": {"type": type(error).__name__, "message": str(error)},
+            },
+        )
+
+
+#: Python recursion limit inside stable-stack threads: the CPython default,
+#: pinned so an embedder's own limit cannot move the abort point either.
+_STABLE_STACK_LIMIT = 1000
+
+
+def run_with_stable_stack(fn: Callable[..., Any], *args: Any) -> Any:
+    """Call ``fn(*args)`` on a fresh thread with a pinned recursion limit.
+
+    A run that recurses to the interpreter's limit (the documented
+    weight-gain refresh churn does, under sustained transfer load) aborts at
+    a depth that depends on how deep the *caller's* stack already is — so
+    the same run produces a longer trace at the REPL top level than inside
+    a worker process or a test harness.  Results are unaffected (the abort
+    lands in the post-report settle phase), but byte-identical *traces*
+    across serial/parallel execution need a stable starting depth.  A fresh
+    thread starts from a constant base depth, and pinning the recursion
+    limit removes the embedder's ``sys.setrecursionlimit`` as a variable.
+    Exceptions propagate unchanged.
+    """
+    box: List[Any] = []
+    error: List[BaseException] = []
+
+    def target() -> None:
+        limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(_STABLE_STACK_LIMIT)
+        try:
+            box.append(fn(*args))
+        except BaseException as exc:  # re-raised on the calling thread
+            error.append(exc)
+        finally:
+            sys.setrecursionlimit(limit)
+
+    thread = threading.Thread(target=target, name="repro-stable-stack")
+    thread.start()
+    thread.join()
+    if error:
+        raise error[0]
+    return box[0]
+
+
 def _execute_indexed(indexed: Tuple[int, RunSpec]) -> Tuple[int, RunResult]:
     index, run = indexed
     return index, execute_run(run)
+
+
+def _execute_indexed_captured(
+    indexed: Tuple[int, RunSpec]
+) -> Tuple[int, RunResult]:
+    index, run = indexed
+    return index, execute_run_captured(run)
+
+
+def _execute_stable(run: RunSpec) -> RunResult:
+    return run_with_stable_stack(execute_run, run)
+
+
+def _execute_stable_captured(run: RunSpec) -> RunResult:
+    return run_with_stable_stack(execute_run_captured, run)
+
+
+def _execute_indexed_stable(
+    indexed: Tuple[int, RunSpec]
+) -> Tuple[int, RunResult]:
+    index, run = indexed
+    return index, _execute_stable(run)
+
+
+def _execute_indexed_stable_captured(
+    indexed: Tuple[int, RunSpec]
+) -> Tuple[int, RunResult]:
+    index, run = indexed
+    return index, _execute_stable_captured(run)
+
+
+#: (capture_errors, stable_stack) -> (per-run executor, indexed executor).
+_EXECUTORS: Dict[
+    Tuple[bool, bool],
+    Tuple[Callable[[RunSpec], RunResult], Callable[..., Tuple[int, RunResult]]],
+] = {
+    (False, False): (execute_run, _execute_indexed),
+    (True, False): (execute_run_captured, _execute_indexed_captured),
+    (False, True): (_execute_stable, _execute_indexed_stable),
+    (True, True): (_execute_stable_captured, _execute_indexed_stable_captured),
+}
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -159,22 +272,31 @@ def execute_stream(
     runs: Iterable[RunSpec],
     workers: int = 1,
     progress: Optional[ProgressCallback] = None,
+    capture_errors: bool = False,
+    stable_stack: bool = False,
 ) -> Iterator[Tuple[int, RunResult]]:
     """Yield ``(input_index, result)`` pairs as runs complete.
 
     Serial execution (``workers=1``) yields in input order; parallel
     execution yields in completion order.  Either way every input index
     appears exactly once, and ``progress`` (if given) is called with
-    ``(completed, total)`` after each run.
+    ``(completed, total)`` after each run.  With ``capture_errors`` a run
+    raising :class:`~repro.errors.ReproError` yields an ``{"error": ...}``
+    result instead of killing the stream (see :func:`execute_run_captured`)
+    — the mode chaos campaigns stream in, where lethal configurations are
+    findings rather than failures.  ``stable_stack`` executes each run via
+    :func:`run_with_stable_stack`, making recursion-limited trace tails
+    identical across serial and parallel execution.
     """
     run_list = list(runs)
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    execute, execute_indexed = _EXECUTORS[(capture_errors, stable_stack)]
     total = len(run_list)
     done = 0
     if workers == 1 or total <= 1:
         for index, run in enumerate(run_list):
-            result = execute_run(run)
+            result = execute(run)
             done += 1
             if progress is not None:
                 progress(done, total)
@@ -183,7 +305,7 @@ def execute_stream(
     pool, private = _checkout_pool(min(workers, total))
     try:
         for index, result in pool.imap_unordered(
-            _execute_indexed, list(enumerate(run_list))
+            execute_indexed, list(enumerate(run_list))
         ):
             done += 1
             if progress is not None:
@@ -199,6 +321,8 @@ def execute_many(
     runs: Iterable[RunSpec],
     workers: int = 1,
     progress: Optional[ProgressCallback] = None,
+    capture_errors: bool = False,
+    stable_stack: bool = False,
 ) -> List[RunResult]:
     """Execute every run, optionally fanning out across worker processes.
 
@@ -206,6 +330,9 @@ def execute_many(
     """
     run_list = list(runs)
     results: List[Optional[RunResult]] = [None] * len(run_list)
-    for index, result in execute_stream(run_list, workers=workers, progress=progress):
+    for index, result in execute_stream(
+        run_list, workers=workers, progress=progress,
+        capture_errors=capture_errors, stable_stack=stable_stack,
+    ):
         results[index] = result
     return [result for result in results if result is not None]

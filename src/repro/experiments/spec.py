@@ -49,6 +49,7 @@ from repro.errors import ConfigurationError
 from repro.experiments.sections import SpecSection, unflatten
 from repro.net.latency import (
     ConstantLatency,
+    GrayFailureLatency,
     LatencyModel,
     LogNormalLatency,
     SlowdownLatency,
@@ -127,6 +128,16 @@ class LatencySpec(SpecSection):
     sharded cluster a canonical name in ``slow`` (``s1``) degrades that
     server's instance in every shard; a qualified name (``s1#2``) degrades
     one shard's instance only.
+
+    A non-empty ``degraded`` tuple additionally wraps the model in
+    :class:`~repro.net.latency.GrayFailureLatency`: the listed processes
+    suffer a *gray failure* — slow but alive — paying ``degraded_factor``
+    times the base delay plus a flat ``degraded_stall`` per message during
+    ``[degraded_start, degraded_end)``.  Every gray knob is a sweepable
+    dotted path (``latency.degraded``, ``latency.degraded_factor``, ...),
+    which is how chaos campaigns (:mod:`repro.chaos`) sample the gray
+    region of the fault space.  Name resolution follows the same
+    canonical/qualified rule as ``slow``.
     """
 
     kind: str = "constant"
@@ -139,12 +150,40 @@ class LatencySpec(SpecSection):
     slow_factor: float = 8.0
     slow_start: VirtualTime = 0.0
     slow_end: Optional[VirtualTime] = None
+    # Gray-failure knobs, appended after the slowdown block so positional
+    # construction of older specs keeps meaning what it meant.
+    degraded: Tuple[ProcessId, ...] = ()
+    degraded_factor: float = 4.0
+    degraded_stall: VirtualTime = 0.0
+    degraded_start: VirtualTime = 0.0
+    degraded_end: Optional[VirtualTime] = None
 
     def _validate(self) -> None:
         if self.kind not in LATENCY_KINDS:
             raise ConfigurationError(
                 f"unknown latency kind {self.kind!r}; "
                 "expected constant, uniform or lognormal"
+            )
+        if self.degraded_factor < 1.0:
+            raise ConfigurationError(
+                "latency.degraded_factor must be >= 1 (gray nodes are slow, "
+                f"not fast), got {self.degraded_factor}"
+            )
+        if self.degraded_stall < 0:
+            raise ConfigurationError(
+                "latency.degraded_stall must be non-negative, "
+                f"got {self.degraded_stall}"
+            )
+        if self.degraded_start < 0:
+            raise ConfigurationError(
+                "latency.degraded_start must be non-negative, "
+                f"got {self.degraded_start}"
+            )
+        if (self.degraded_end is not None
+                and self.degraded_end <= self.degraded_start):
+            raise ConfigurationError(
+                f"latency.degraded_end={self.degraded_end} must be after "
+                f"degraded_start={self.degraded_start}"
             )
 
     def build(self, seed: int = 0, shards: int = 1) -> LatencyModel:
@@ -173,6 +212,15 @@ class LatencySpec(SpecSection):
                 factor=self.slow_factor,
                 start_at=self.slow_start,
                 end_at=self.slow_end,
+            )
+        if self.degraded:
+            model = GrayFailureLatency(
+                model,
+                degraded=expand_process_names(tuple(self.degraded), shards),
+                factor=self.degraded_factor,
+                stall=self.degraded_stall,
+                start_at=self.degraded_start,
+                end_at=self.degraded_end,
             )
         return model
 
@@ -663,45 +711,152 @@ class FaultSpec(SpecSection):
     """The fault-injection section: crash/recover schedules, partition windows.
 
     ``crashes`` and ``recoveries`` are ``(process, virtual_time)`` pairs;
-    ``partitions`` are :class:`PartitionSpec` windows.  On a sharded cluster
-    a canonical process name (``s4``) targets that server's instance in
-    every shard (the machine hosting them); a qualified name (``s4#2``)
-    targets one shard's instance only — the same *per-group targeting* rule
-    latency slowdowns use, so fault scenarios sweep over ``cluster.shards``
-    unchanged.  (``failures`` is accepted as a legacy alias for this section
-    in spec files and dotted override paths.)
+    ``outages`` are self-contained ``(process, at, until)`` triples — a
+    crash with its matching recovery (``until=None`` never recovers) in one
+    value, which is what lets a chaos campaign sample a fault window as a
+    single sweep axis; ``partitions`` are :class:`PartitionSpec` windows.
+    On a sharded cluster a canonical process name (``s4``) targets that
+    server's instance in every shard (the machine hosting them); a
+    qualified name (``s4#2``) targets one shard's instance only — the same
+    *per-group targeting* rule latency slowdowns use, so fault scenarios
+    sweep over ``cluster.shards`` unchanged.  (``failures`` is accepted as
+    a legacy alias for this section in spec files and dotted override
+    paths.)
+
+    Validation is strict and names the offending dotted path: malformed
+    entries, negative times, a recovery scheduled at or before its crash
+    (replayed in :meth:`~repro.sim.failures.FailureSchedule.arm` order:
+    recoveries resolve before crashes at equal times), and overlapping
+    partition windows all raise :class:`~repro.errors.ConfigurationError`
+    from :meth:`validate`; :meth:`check_processes` additionally rejects
+    faults targeting processes the built cluster does not have — both run
+    before the simulation starts, so a bad schedule can never fail (or
+    silently no-op) mid-run.
     """
 
     crashes: Tuple[Tuple[ProcessId, VirtualTime], ...] = ()
     recoveries: Tuple[Tuple[ProcessId, VirtualTime], ...] = ()
     partitions: Tuple[PartitionSpec, ...] = ()
+    # Appended after partitions so positional construction of older specs
+    # keeps meaning what it meant.
+    outages: Tuple[Tuple[ProcessId, VirtualTime, Optional[VirtualTime]], ...] = ()
 
     def _validate(self) -> None:
         for label, entries in (("crashes", self.crashes),
                                ("recoveries", self.recoveries)):
-            for entry in entries:
+            for index, entry in enumerate(entries):
                 if not (isinstance(entry, tuple) and len(entry) == 2):
                     raise ConfigurationError(
-                        f"invalid faults.{label} entry {entry!r}: "
+                        f"invalid faults.{label}[{index}] entry {entry!r}: "
                         "expected (process, at)"
                     )
                 if entry[1] < 0:
                     raise ConfigurationError(
-                        f"faults.{label} times must be non-negative, got {entry[1]}"
+                        f"faults.{label}[{index}] times must be non-negative, "
+                        f"got {entry[1]}"
                     )
-        windows = [w for w in self.partitions if isinstance(w, PartitionSpec)]
+        for index, entry in enumerate(_coerce_outages(self.outages)):
+            process, at, until = entry
+            if at < 0:
+                raise ConfigurationError(
+                    f"faults.outages[{index}] times must be non-negative, "
+                    f"got {at}"
+                )
+            if until is not None and until <= at:
+                raise ConfigurationError(
+                    f"faults.outages[{index}] recovers at until={until}, at or "
+                    f"before its crash at={at}"
+                )
+        self._check_recovery_order()
+        windows = list(_coerce_partitions(self.partitions))
         for index, window in enumerate(windows):
-            for other in windows[index + 1:]:
+            window._validate()
+            for other_index, other in enumerate(windows[index + 1:], index + 1):
                 if window.overlaps(other):
                     raise ConfigurationError(
-                        "partition windows overlap: "
+                        f"partition windows faults.partitions[{index}] and "
+                        f"faults.partitions[{other_index}] overlap: "
                         f"[{window.at}, {window.heal_at}) and "
                         f"[{other.at}, {other.heal_at})"
                     )
 
+    def _check_recovery_order(self) -> None:
+        """Reject recoveries that resolve while their process is not down.
+
+        The timeline (explicit crashes/recoveries plus expanded outages) is
+        replayed exactly the way :meth:`~repro.sim.failures.FailureSchedule.
+        arm` schedules it — recoveries before crashes at equal times — so a
+        recovery applied while its process is up is a schedule that would
+        silently no-op mid-run; it raises here instead, naming the entry.
+        Names are compared as given (canonical vs qualified names live in
+        different namespaces until build time).
+        """
+        timeline = []
+        for index, (process, at) in enumerate(self.crashes):
+            timeline.append((at, 1, process, f"faults.crashes[{index}]"))
+        for index, (process, at) in enumerate(self.recoveries):
+            timeline.append((at, 0, process, f"faults.recoveries[{index}]"))
+        for index, (process, at, until) in enumerate(
+            _coerce_outages(self.outages)
+        ):
+            timeline.append((at, 1, process, f"faults.outages[{index}]"))
+            if until is not None:
+                timeline.append((until, 0, process, f"faults.outages[{index}]"))
+        down = set()
+        for at, is_crash, process, path in sorted(
+            timeline, key=lambda entry: (entry[0], entry[1], entry[2])
+        ):
+            if is_crash:
+                down.add(process)  # double crash is idempotent, not an error
+            elif process in down:
+                down.discard(process)
+            else:
+                raise ConfigurationError(
+                    f"{path} recovers {process!r} at t={at}, but it is not "
+                    "down then (recoveries resolve before crashes at equal "
+                    "times; schedule the crash strictly earlier)"
+                )
+
+    def check_processes(
+        self, known: Tuple[ProcessId, ...], shards: int = 1
+    ) -> None:
+        """Reject fault targets the cluster does not have, naming the path.
+
+        ``known`` is the built network's process id set (servers, clients,
+        probers); targets expand through the same canonical/qualified rule
+        :meth:`build` uses, so this check accepts exactly the schedules that
+        would resolve at run time — a typo'd node fails here, up front,
+        instead of raising :class:`~repro.errors.UnknownProcessError` at its
+        scheduled virtual time.
+        """
+        known_set = set(known)
+
+        def check(path: str, process: ProcessId) -> None:
+            for pid in expand_process_names((process,), shards):
+                if pid not in known_set:
+                    raise ConfigurationError(
+                        f"{path} targets unknown process {pid!r} "
+                        f"(known: {', '.join(sorted(known_set))})"
+                    )
+
+        for index, (process, _) in enumerate(self.crashes):
+            check(f"faults.crashes[{index}]", process)
+        for index, (process, _) in enumerate(self.recoveries):
+            check(f"faults.recoveries[{index}]", process)
+        for index, (process, _, _) in enumerate(_coerce_outages(self.outages)):
+            check(f"faults.outages[{index}]", process)
+        for index, window in enumerate(_coerce_partitions(self.partitions)):
+            for group_index, group in enumerate(window.groups):
+                for process in group:
+                    check(
+                        f"faults.partitions[{index}].groups[{group_index}]",
+                        process,
+                    )
+
     def build(self, shards: int = 1) -> Optional[FailureSchedule]:
         """Construct the fault schedule, or ``None`` when no faults are set."""
-        if not (self.crashes or self.recoveries or self.partitions):
+        if not (self.crashes or self.recoveries or self.partitions
+                or self.outages):
             return None
         schedule = FailureSchedule()
         for process, at in self.crashes:
@@ -710,6 +865,9 @@ class FaultSpec(SpecSection):
         for process, at in self.recoveries:
             for pid in expand_process_names((process,), shards):
                 schedule.recover(pid, at)
+        for process, at, until in _coerce_outages(self.outages):
+            for pid in expand_process_names((process,), shards):
+                schedule.outage(pid, at, until=until)
         for window in _coerce_partitions(self.partitions):
             resolved = _partition_window(window, shards)
             schedule.partition_window(
@@ -894,6 +1052,26 @@ def _coerce_phases(phases: Tuple[Any, ...]) -> Tuple[PhaseSpec, ...]:
     return tuple(coerced)
 
 
+def _coerce_outages(
+    outages: Tuple[Any, ...],
+) -> Tuple[Tuple[ProcessId, VirtualTime, Optional[VirtualTime]], ...]:
+    # Overrides arriving from the CLI/JSON are plain sequences; an omitted
+    # third element means "never recovers".
+    coerced = []
+    for entry in outages:
+        try:
+            if isinstance(entry, str) or not 2 <= len(entry) <= 3:
+                raise ValueError(entry)
+            process, at = entry[0], entry[1]
+            until = entry[2] if len(entry) > 2 else None
+            coerced.append((process, at, until))
+        except (TypeError, ValueError) as error:
+            raise ConfigurationError(
+                f"invalid outage {entry!r}: expected (process, at[, until])"
+            ) from error
+    return tuple(coerced)
+
+
 def _coerce_partitions(partitions: Tuple[Any, ...]) -> Tuple[PartitionSpec, ...]:
     # Overrides arriving from the CLI/JSON are plain sequences, not specs.
     coerced = []
@@ -982,6 +1160,12 @@ def _run_spec_inner(spec: ScenarioSpec) -> Dict[str, Any]:
     harness: Optional[MonitoringHarness] = None
     if spec.monitoring.enabled:
         harness = spec.monitoring.build(cluster)
+    # Fault targets are checked against the fully built membership (servers,
+    # clients, probers) so a typo'd node fails before the run, not at its
+    # scheduled virtual time.
+    spec.faults.check_processes(
+        tuple(cluster.network.process_ids()), shards=spec.cluster.shards
+    )
     workload = spec.workload.build(tuple(cluster.clients), seed=spec.seed)
 
     transfer_outcomes: List[Dict[str, Any]] = []

@@ -13,6 +13,11 @@ serve different purposes:
 * :class:`SlowdownLatency` — a wrapper that slows selected processes down from
   a given virtual time, used to emulate the run-time performance variation the
   monitoring/reassignment machinery reacts to.
+* :class:`GrayFailureLatency` — a wrapper modelling *gray failures*: nodes
+  that stay alive (they answer probes, they vote in quorums) but serve every
+  message slowly.  Unlike a crash the failure detector never fires, which is
+  exactly the regime where weighted quorums out- or under-perform — and what
+  the chaos campaigns in :mod:`repro.chaos` search over.
 
 Every stochastic model takes an explicit ``seed``; the simulation kernel
 itself never introduces randomness.
@@ -35,6 +40,7 @@ __all__ = [
     "PerLinkLatency",
     "WanMatrixLatency",
     "SlowdownLatency",
+    "GrayFailureLatency",
     "wan_latency_matrix",
 ]
 
@@ -226,4 +232,59 @@ class SlowdownLatency(LatencyModel):
         base = self.inner.delay(sender, receiver, now)
         if self._active(now) and (sender in self.slow or receiver in self.slow):
             return base * self.factor
+        return base
+
+
+class GrayFailureLatency(LatencyModel):
+    """Wrap another model with a *gray failure*: slow-but-alive processes.
+
+    Any message to or from a process listed in ``degraded`` pays a
+    multiplicative ``factor`` plus an additive per-message ``stall`` while
+    the window ``[start_at, end_at)`` is open (``end_at=None`` never closes).
+    The additive stall is what distinguishes a gray failure from a plain
+    slowdown: even a near-zero base delay is dragged up to ``stall``, the
+    shape of a node grinding through I/O timeouts while still answering —
+    so crash detection never fires, quorums still count its vote, and the
+    operation latency quietly degrades.
+    """
+
+    def __init__(
+        self,
+        inner: LatencyModel,
+        degraded: Iterable[ProcessId],
+        factor: float = 4.0,
+        stall: VirtualTime = 0.0,
+        start_at: VirtualTime = 0.0,
+        end_at: Optional[VirtualTime] = None,
+    ) -> None:
+        if factor < 1.0:
+            raise ConfigurationError("gray-failure factor must be >= 1")
+        if stall < 0:
+            raise ConfigurationError("gray-failure stall must be non-negative")
+        if end_at is not None and end_at <= start_at:
+            raise ConfigurationError(
+                f"gray-failure end_at={end_at} must be after start_at={start_at}"
+            )
+        self.inner = inner
+        self.degraded = frozenset(degraded)
+        self.factor = factor
+        self.stall = stall
+        self.start_at = start_at
+        self.end_at = end_at
+
+    def _active(self, now: VirtualTime) -> bool:
+        if now < self.start_at:
+            return False
+        if self.end_at is not None and now >= self.end_at:
+            return False
+        return True
+
+    def delay(
+        self, sender: ProcessId, receiver: ProcessId, now: VirtualTime
+    ) -> VirtualTime:
+        base = self.inner.delay(sender, receiver, now)
+        if self._active(now) and (
+            sender in self.degraded or receiver in self.degraded
+        ):
+            return base * self.factor + self.stall
         return base

@@ -77,6 +77,10 @@ class Network:
     def process_ids(self) -> Sequence[ProcessId]:
         return tuple(self._processes)
 
+    def has_process(self, pid: ProcessId) -> bool:
+        """Whether ``pid`` is registered (fault targets are checked up front)."""
+        return pid in self._processes
+
     def get_process(self, pid: ProcessId) -> "ProcessLike":
         try:
             return self._processes[pid]

@@ -113,6 +113,29 @@ class FailureSchedule:
         self.recoveries.append(RecoverEvent(process=process, at=at))
         return self
 
+    def outage(
+        self,
+        process: ProcessId,
+        at: VirtualTime,
+        until: Optional[VirtualTime] = None,
+    ) -> "FailureSchedule":
+        """Add a crash at ``at`` with a matching recovery at ``until``.
+
+        ``until=None`` is a permanent crash.  An outage is the self-contained
+        form a single sweep axis can carry: unlike independent crash and
+        recovery lists, one ``(process, at, until)`` triple is always a valid
+        timeline, which is what lets chaos campaigns sample fault windows as
+        one Latin-hypercube dimension.
+        """
+        if until is not None and until <= at:
+            raise ConfigurationError(
+                f"outage until={until} must be after at={at}"
+            )
+        self.crash(process, at)
+        if until is not None:
+            self.recover(process, until)
+        return self
+
     def partition_window(
         self,
         groups: Iterable[Iterable[ProcessId]],

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -265,3 +267,94 @@ class TestAvailabilityProperty:
         ranked = sorted(weight_map.values())  # the n-f *lightest* servers: worst case
         survivors = ranked[: len(ranked) - f]
         assert sum(survivors) > total / 2 - 1e-6
+
+
+class TestReadWriteIntersection:
+    """The defining safety property, across every implemented quorum system.
+
+    An atomic register is linearizable only if every read quorum intersects
+    every write quorum.  All four systems here are symmetric (reads and
+    writes use the same quorums), so the property reduces to: any two
+    subsets the system accepts as quorums share at least one server.  The
+    weight vectors are randomized but *seeded* — hypothesis drives the seed,
+    so failures replay exactly.
+    """
+
+    @staticmethod
+    def _systems(n, weights):
+        systems = [
+            MajorityQuorumSystem(server_set(n)),
+            WeightedMajorityQuorumSystem(weights),
+            TreeQuorumSystem(server_set(n)),
+        ]
+        for cols in (2, 3):
+            if cols <= n:
+                systems.append(GridQuorumSystem(server_set(n), cols=cols))
+        return systems
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        n=st.integers(min_value=3, max_value=9),
+        seed=st.integers(min_value=0, max_value=9999),
+        read_bits=st.integers(min_value=1, max_value=511),
+        write_bits=st.integers(min_value=1, max_value=511),
+    )
+    def test_read_quorum_intersects_write_quorum(
+        self, n, seed, read_bits, write_bits
+    ):
+        servers = server_set(n)
+        rng = random.Random(seed)
+        weights = {pid: rng.uniform(0.1, 5.0) for pid in servers}
+        read = [pid for i, pid in enumerate(servers) if read_bits >> i & 1]
+        write = [pid for i, pid in enumerate(servers) if write_bits >> i & 1]
+        for system in self._systems(n, weights):
+            if system.is_quorum(read) and system.is_quorum(write):
+                assert set(read) & set(write), (
+                    f"{type(system).__name__}: disjoint read quorum {read} "
+                    f"and write quorum {write} (weights {weights})"
+                )
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        n=st.integers(min_value=3, max_value=8),
+        seed=st.integers(min_value=0, max_value=9999),
+        subset_bits=st.integers(min_value=1, max_value=255),
+        source_index=st.integers(min_value=0, max_value=7),
+        target_index=st.integers(min_value=0, max_value=7),
+        fraction=st.floats(min_value=0.1, max_value=0.9, allow_nan=False),
+    )
+    def test_weighted_threshold_monotone_under_transfer(
+        self, n, seed, subset_bits, source_index, target_index, fraction
+    ):
+        """Weight transfer moves the threshold monotonically.
+
+        Transfers preserve the total weight, so the quorum threshold
+        (half the total) is constant: a subset that gains weight from the
+        outside can only stay a quorum, and a subset that leaks weight to
+        the outside can only stay a non-quorum.
+        """
+        servers = server_set(n)
+        rng = random.Random(seed)
+        weights = {pid: rng.uniform(0.5, 5.0) for pid in servers}
+        wmqs = WeightedMajorityQuorumSystem(weights)
+        subset = {pid for i, pid in enumerate(servers) if subset_bits >> i & 1}
+        outside = [pid for pid in servers if pid not in subset]
+        if not subset or not outside:
+            return
+        inside = sorted(subset)[source_index % len(subset)]
+        external = outside[target_index % len(outside)]
+
+        if wmqs.is_quorum(subset):
+            # outside -> inside: the quorum's share only grows.
+            delta = fraction * weights[external]
+            gained = dict(weights)
+            gained[external] -= delta
+            gained[inside] += delta
+            assert WeightedMajorityQuorumSystem(gained).is_quorum(subset)
+        else:
+            # inside -> outside: the non-quorum's share only shrinks.
+            delta = fraction * weights[inside]
+            leaked = dict(weights)
+            leaked[inside] -= delta
+            leaked[external] += delta
+            assert not WeightedMajorityQuorumSystem(leaked).is_quorum(subset)

@@ -388,6 +388,109 @@ class TestFaultSpec:
         assert result["monitoring"]["rounds_completed"] == 4
 
 
+class TestFaultWindowValidation:
+    """Impossible fault schedules fail at build time with the dotted path."""
+
+    def test_recovery_before_crash_rejected(self):
+        faults = FaultSpec(crashes=(("s2", 10.0),), recoveries=(("s2", 4.0),))
+        with pytest.raises(ConfigurationError,
+                           match=r"faults\.recoveries\[0\] recovers 's2'"):
+            faults.validate()
+
+    def test_recovery_without_any_crash_rejected(self):
+        faults = FaultSpec(recoveries=(("s3", 4.0),))
+        with pytest.raises(ConfigurationError,
+                           match=r"faults\.recoveries\[0\]"):
+            faults.validate()
+
+    def test_recovery_at_crash_instant_rejected(self):
+        # Recoveries resolve before crashes at equal times, so a same-instant
+        # pair means the recovery fires on an up process.
+        faults = FaultSpec(crashes=(("s2", 5.0),), recoveries=(("s2", 5.0),))
+        with pytest.raises(ConfigurationError, match="strictly earlier"):
+            faults.validate()
+
+    def test_double_crash_same_node_is_allowed(self):
+        # Crashing a crashed node is idempotent on the network; the schedule
+        # is valid (and exercised end-to-end in test_fault_schedules).
+        FaultSpec(crashes=(("s2", 1.0), ("s2", 3.0))).validate()
+
+    def test_outage_recovering_at_or_before_crash_rejected(self):
+        with pytest.raises(ConfigurationError,
+                           match=r"faults\.outages\[0\] recovers at until=2.0"):
+            FaultSpec(outages=(("s1", 2.0, 2.0),)).validate()
+
+    def test_outage_without_recovery_is_valid(self):
+        FaultSpec(outages=(("s1", 2.0),)).validate()
+        FaultSpec(outages=(("s1", 2.0, None),)).validate()
+
+    def test_malformed_outage_entry_rejected(self):
+        for bad in ("s1", ("s1",), ("s1", 1.0, 2.0, 3.0)):
+            with pytest.raises(ConfigurationError, match="invalid outage"):
+                FaultSpec(outages=(bad,)).validate()
+
+    def test_partition_heal_before_start_rejected(self):
+        faults = FaultSpec(
+            partitions=(PartitionSpec(at=5.0, groups=(("s1",),), heal_at=3.0),)
+        )
+        with pytest.raises(ConfigurationError,
+                           match=r"heal_at=3.0 must be after at=5.0"):
+            faults.validate()
+
+    def test_overlapping_partition_windows_name_both_paths(self):
+        faults = FaultSpec(partitions=(
+            PartitionSpec(at=1.0, groups=(("s1",),), heal_at=5.0),
+            PartitionSpec(at=4.0, groups=(("s2",),), heal_at=8.0),
+        ))
+        with pytest.raises(
+            ConfigurationError,
+            match=r"faults\.partitions\[0\] and faults\.partitions\[1\] overlap",
+        ):
+            faults.validate()
+
+    def test_crash_of_unknown_node_fails_before_the_run(self):
+        spec = ScenarioSpec(
+            name="t",
+            cluster=ClusterSpec(n=3, f=1, client_count=1),
+            workload=WorkloadSpec(operations_per_client=2),
+            faults=FaultSpec(crashes=(("s9", 1.0),)),
+        )
+        with pytest.raises(
+            ConfigurationError,
+            match=r"faults\.crashes\[0\] targets unknown process 's9'",
+        ):
+            run_spec(spec)
+
+    def test_unknown_outage_and_partition_targets_named_by_path(self):
+        known = ("s1", "s2", "c1")
+        with pytest.raises(ConfigurationError,
+                           match=r"faults\.outages\[0\].*'ghost'"):
+            FaultSpec(outages=(("ghost", 1.0),)).check_processes(known)
+        with pytest.raises(
+            ConfigurationError,
+            match=r"faults\.partitions\[0\]\.groups\[1\].*'gone'",
+        ):
+            FaultSpec(partitions=(
+                PartitionSpec(at=1.0, groups=(("s1",), ("gone",)), heal_at=2.0),
+            )).check_processes(known)
+
+    def test_check_processes_expands_sharded_names(self):
+        # Canonical names pass when every shard-qualified expansion exists.
+        known = ("s1#0", "s1#1", "s2#0", "s2#1")
+        FaultSpec(crashes=(("s1", 1.0),)).check_processes(known, shards=2)
+        with pytest.raises(ConfigurationError, match="unknown process"):
+            FaultSpec(crashes=(("s3", 1.0),)).check_processes(known, shards=2)
+
+    def test_outage_builds_a_crash_recover_pair(self):
+        schedule = FaultSpec(outages=(("s2", 3.0, 9.0),)).build()
+        assert schedule.crashed_by(4.0) == ("s2",)
+        assert schedule.crashed_by(10.0) == ()
+
+    def test_permanent_outage_never_recovers(self):
+        schedule = FaultSpec(outages=(("s2", 3.0),)).build()
+        assert schedule.crashed_by(1e9) == ("s2",)
+
+
 class TestSpecFiles:
     def test_all_example_spec_files_load_build_and_step(self):
         import importlib.util

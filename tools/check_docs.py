@@ -42,11 +42,16 @@ _SKIP_SCHEMES = ("http://", "https://", "mailto:")
 # Sections other documentation (and CI jobs) deep-link into.  Paths are
 # repo-relative; headings must appear verbatim at line start.
 REQUIRED_SECTIONS = {
-    "docs/ARCHITECTURE.md": ["## Observability", "## Trace analytics"],
+    "docs/ARCHITECTURE.md": [
+        "## Observability",
+        "## Trace analytics",
+        "## Chaos campaigns",
+    ],
     "README.md": [
         "## Scenario catalogue",
         "## Tracing a run",
         "## Analyzing a trace",
+        "## Chaos campaigns",
     ],
 }
 
