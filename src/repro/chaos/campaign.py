@@ -28,10 +28,19 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.chaos.oracles import RunOutcome, default_oracles
 from repro.chaos.space import fault_axes
-from repro.errors import ConfigurationError
-from repro.experiments.executor import execute_stream, run_with_stable_stack
+from repro.errors import ConfigurationError, ReproError
+from repro.experiments.executor import run_with_stable_stack
 from repro.experiments.executor import execute_run
 from repro.experiments.registry import get_scenario
+from repro.experiments.resilience import (
+    Quarantine,
+    ResiliencePolicy,
+    RunJournal,
+    StreamTelemetry,
+    execute_stream_resilient,
+    journalable,
+    run_digest,
+)
 from repro.experiments.spec import ScenarioSpec
 from repro.experiments.sweep import RunSpec, Sweep
 from repro.obs import read_trace
@@ -143,12 +152,51 @@ def _traced(run: RunSpec, trace_path: str) -> RunSpec:
     return RunSpec(scenario=run.scenario, params=tuple(sorted(params.items())))
 
 
-def _read_trace_if_any(path: str) -> Optional[List[Dict[str, Any]]]:
+def _read_trace_if_any(
+    path: str, tolerant: bool = False
+) -> Optional[List[Dict[str, Any]]]:
     # A run that died raised before run_spec wrote its trace; an absent file
-    # simply means "nothing to check" for the trace oracle.
+    # simply means "nothing to check" for the trace oracle.  ``tolerant``
+    # additionally swallows unreadable files: a watchdog can SIGKILL a
+    # worker *while* it writes its trace, and the truncated file must judge
+    # as "no trace" rather than kill the campaign.
     if not os.path.exists(path):
         return None
-    return read_trace(path)
+    try:
+        return read_trace(path)
+    except (ReproError, ValueError):
+        if tolerant:
+            return None
+        raise
+
+
+def _journal_header(
+    scenario: str, sample: int, seed: int, benign: bool,
+    times: Sequence[VirtualTime], outage_length: VirtualTime,
+    window_length: VirtualTime, min_quorum: int,
+    degradation_threshold: float,
+) -> Dict[str, Any]:
+    """The chaos journal header: every knob the report bytes depend on.
+
+    A resumed campaign validates its knobs against this record, so a
+    journal written by one configuration cannot silently poison the
+    report of another.
+    """
+    return {
+        "kind": "chaos",
+        "version": 1,
+        "campaign": {
+            "scenario": scenario,
+            "sample": sample,
+            "seed": seed,
+            "benign": benign,
+            "times": list(times),
+            "outage_length": outage_length,
+            "window_length": window_length,
+            "min_quorum": min_quorum,
+            "degradation_threshold": degradation_threshold,
+        },
+    }
 
 
 def run_campaign(
@@ -164,6 +212,11 @@ def run_campaign(
     degradation_threshold: float = 2.0,
     keep_traces: Optional[str] = None,
     progress: Optional[ProgressCallback] = None,
+    policy: Optional[ResiliencePolicy] = None,
+    journal_path: Optional[str] = None,
+    resume: bool = False,
+    quarantine_path: Optional[str] = None,
+    telemetry: Optional[StreamTelemetry] = None,
 ) -> Campaign:
     """LHS-sample ``scenario``'s fault space, execute it, and rank the runs.
 
@@ -171,7 +224,18 @@ def run_campaign(
     window sizes, thresholds): worker count, trace directory and hash seed
     leave its bytes unchanged.  ``keep_traces`` preserves the per-run trace
     files in the given directory (by sample index) instead of a temporary
-    one; ``progress`` is forwarded to the executor.
+    one; ``progress`` is called with global ``(done, total)`` counts.
+
+    ``journal_path`` journals *judged* entries (keyed by the digest of the
+    untraced run spec) as they land — per-run traces live in a temporary
+    directory and do not survive an interruption, so the journal records
+    the oracle verdicts, not the raw traces.  ``resume=True`` reloads an
+    existing journal and skips its runs (and the baseline); because every
+    run and every oracle is deterministic, the resumed report is
+    byte-identical to an uninterrupted one.  ``policy`` adds the per-run
+    watchdog and worker retry of :mod:`repro.experiments.resilience`;
+    watchdog/quarantine outcomes are reported but never journaled, so a
+    resume retries them.
     """
     base = _base_spec(scenario)
     axes = fault_axes(
@@ -193,50 +257,104 @@ def run_campaign(
         degradation_threshold=degradation_threshold,
     )
 
+    policy = policy or ResiliencePolicy()
+    policy.validate()
+    telemetry = telemetry if telemetry is not None else StreamTelemetry()
+    quarantine = Quarantine(quarantine_path)
+    journal: Optional[RunJournal] = None
+    if journal_path is not None:
+        journal = RunJournal(
+            journal_path,
+            _journal_header(
+                scenario, sample, seed, benign, times, outage_length,
+                window_length, min_quorum, degradation_threshold,
+            ),
+            resume=resume,
+        )
+    resilient = journal is not None or policy.needs_pool
+    # Watchdog kills can truncate a trace mid-write; judge those as
+    # "no trace" instead of failing the whole campaign.
+    tolerant = policy.needs_pool
+    total = len(runs)
+    done = 0
+
+    def tick() -> None:
+        nonlocal done
+        done += 1
+        if progress is not None:
+            progress(done, total)
+
     trace_dir = keep_traces or tempfile.mkdtemp(prefix="repro-chaos-")
     os.makedirs(trace_dir, exist_ok=True)
     try:
         # -- baseline: the un-faulted scenario, traced and judged -----------
-        baseline_path = os.path.join(trace_dir, "baseline.jsonl")
-        # Stable-stack execution everywhere: recursion-limited trace tails
-        # (weight-gain refresh churn) otherwise depend on the caller's stack
-        # depth, which would break the serial==parallel byte-identity of the
-        # report and its reproducibility from tests vs the CLI.
-        baseline_result = run_with_stable_stack(
-            execute_run, _traced(RunSpec(scenario=scenario), baseline_path)
-        ).result
-        baseline_records = _read_trace_if_any(baseline_path)
-        baseline_outcome = RunOutcome(
-            index=-1,
-            run_id=scenario,
-            params={},
-            result=baseline_result,
-            trace_records=baseline_records,
-        )
-        baseline_violations = [
-            violation
-            for oracle in oracles
-            for violation in oracle.judge(baseline_outcome).violations
-        ]
+        baseline_record = journal.get("baseline") if journal else None
+        if baseline_record is not None:
+            baseline_result = baseline_record["result"]
+            baseline_violations = baseline_record["violations"]
+            baseline_trace_records = baseline_record["trace_records"]
+        else:
+            baseline_path = os.path.join(trace_dir, "baseline.jsonl")
+            # Stable-stack execution everywhere: recursion-limited trace
+            # tails (weight-gain refresh churn) otherwise depend on the
+            # caller's stack depth, which would break the serial==parallel
+            # byte-identity of the report and its reproducibility from
+            # tests vs the CLI.
+            baseline_result = run_with_stable_stack(
+                execute_run, _traced(RunSpec(scenario=scenario), baseline_path)
+            ).result
+            baseline_records = _read_trace_if_any(baseline_path)
+            baseline_outcome = RunOutcome(
+                index=-1,
+                run_id=scenario,
+                params={},
+                result=baseline_result,
+                trace_records=baseline_records,
+            )
+            baseline_violations = [
+                violation.as_dict()
+                for oracle in oracles
+                for violation in oracle.judge(baseline_outcome).violations
+            ]
+            baseline_trace_records = len(baseline_records or ())
+            if journal is not None:
+                journal.record("baseline", {
+                    "result": baseline_result,
+                    "violations": baseline_violations,
+                    "trace_records": baseline_trace_records,
+                })
 
         # -- the sampled fault space, traced, errors captured ---------------
-        traced_runs = [
-            _traced(run, os.path.join(trace_dir, f"{index:04d}.jsonl"))
-            for index, run in enumerate(runs)
-        ]
-        results: List[Optional[Any]] = [None] * len(traced_runs)
-        for index, result in execute_stream(
-            traced_runs, workers=workers, progress=progress,
-            capture_errors=True, stable_stack=True,
-        ):
-            results[index] = result
-
+        # Journaled runs are skipped (their judged entries are replayed);
+        # fresh runs execute through the resilient stream and are judged —
+        # and journaled — as each one completes, so an interruption at any
+        # point loses at most the in-flight runs.
         entries = []
+        pending: List[Tuple[int, RunSpec]] = []
         for index, run in enumerate(runs):
-            result = results[index]
-            assert result is not None  # execute_stream yields every index
+            record = journal.get(run_digest(run)) if journal else None
+            if record is not None:
+                telemetry.resumed += 1
+                entries.append(record["entry"])
+                tick()
+            else:
+                pending.append((index, run))
+
+        index_map = [index for index, _ in pending]
+        traced_pending = [
+            _traced(run, os.path.join(trace_dir, f"{index:04d}.jsonl"))
+            for index, run in pending
+        ]
+        for sub_index, result in execute_stream_resilient(
+            traced_pending, workers=workers,
+            capture_errors=True, stable_stack=True,
+            policy=policy, quarantine=quarantine, telemetry=telemetry,
+        ):
+            index = index_map[sub_index]
+            run = runs[index]
             records = _read_trace_if_any(
-                os.path.join(trace_dir, f"{index:04d}.jsonl")
+                os.path.join(trace_dir, f"{index:04d}.jsonl"),
+                tolerant=tolerant,
             )
             outcome = RunOutcome(
                 index=index,
@@ -254,17 +372,24 @@ def run_campaign(
                 oracle_details[oracle.name] = report.details
             degradation = oracle_details["latency"]["degradation"]
             severity = 100.0 * len(violations) + (degradation or 0.0)
-            entries.append({
+            entry = {
                 "index": index,
                 "run_id": run.run_id,
                 "params": run.params_dict,
                 "severity": severity,
                 "violations": [v.as_dict() for v in violations],
                 "oracles": oracle_details,
-            })
+            }
+            entries.append(entry)
+            if journal is not None and journalable(result):
+                journal.record(run_digest(run), {"entry": entry})
+            tick()
     finally:
         if keep_traces is None:
             shutil.rmtree(trace_dir, ignore_errors=True)
+        quarantine.close()
+        if journal is not None:
+            journal.close()
 
     entries.sort(key=lambda entry: (-entry["severity"], entry["index"]))
     for rank, entry in enumerate(entries, 1):
@@ -276,30 +401,38 @@ def run_campaign(
     failed = sum(
         1 for entry in entries if not entry["oracles"]["result"]["completed"]
     )
+    campaign_block = {
+        "scenario": scenario,
+        "sample": sample,
+        "seed": seed,
+        "benign": benign,
+        "times": list(times),
+        "outage_length": outage_length,
+        "window_length": window_length,
+        "min_quorum": min_quorum,
+        "degradation_threshold": degradation_threshold,
+        "axes": {path: list(values) for path, values in axes.items()},
+        "runs": len(entries),
+        "violations": sum(len(entry["violations"]) for entry in entries),
+        "degraded": degraded,
+        "failed": failed,
+    }
+    if resilient:
+        # Only when resilience is active, so legacy reports keep their
+        # bytes.  ``telemetry.as_dict()`` excludes the resumed count: a
+        # resumed report must be byte-identical to an uninterrupted one.
+        campaign_block["resilience"] = {
+            **policy.as_dict(), **telemetry.as_dict(),
+        }
     header = {
-        "campaign": {
-            "scenario": scenario,
-            "sample": sample,
-            "seed": seed,
-            "benign": benign,
-            "times": list(times),
-            "outage_length": outage_length,
-            "window_length": window_length,
-            "min_quorum": min_quorum,
-            "degradation_threshold": degradation_threshold,
-            "axes": {path: list(values) for path, values in axes.items()},
-            "runs": len(entries),
-            "violations": sum(len(entry["violations"]) for entry in entries),
-            "degraded": degraded,
-            "failed": failed,
-        },
+        "campaign": campaign_block,
         "baseline": {
             "run_id": scenario,
             "read_p99": (baseline_result.get("read_latency") or {}).get("p99"),
             "write_p99": (baseline_result.get("write_latency") or {}).get("p99"),
             "operations": baseline_result.get("operations"),
-            "violations": [v.as_dict() for v in baseline_violations],
-            "trace_records": len(baseline_records or ()),
+            "violations": baseline_violations,
+            "trace_records": baseline_trace_records,
         },
     }
     return Campaign(header=header, entries=entries, base_spec=base)

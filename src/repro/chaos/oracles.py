@@ -157,11 +157,25 @@ class ResultOracle:
         result = outcome.result
         if outcome.failed:
             error = result["error"]
+            # Resilience-layer outcomes get their own accounting: a watchdog
+            # kill or a quarantined worker death is a harness event, not a
+            # protocol failure, and campaign readers need to tell them apart.
+            # Plain failures keep the exact legacy details/check shape.
+            check = "run-failure"
+            details: Dict[str, Any] = {"completed": False}
+            if error.get("type") == "WatchdogTimeout":
+                check = "run-timeout"
+                details["timed_out"] = True
+            elif error.get("quarantined"):
+                check = "run-quarantined"
+                details["quarantined"] = True
+            elif error.get("unexpected"):
+                details["unexpected"] = True
             report.violations.append(OracleViolation(
-                self.name, "run-failure",
+                self.name, check,
                 f"{error.get('type', 'Error')}: {error.get('message', '')}",
             ))
-            report.details = {"completed": False}
+            report.details = details
             return report
         completed = result.get("operations")
         generated = (result.get("workload") or {}).get("operations")

@@ -39,6 +39,15 @@ class CrashedProcessError(SimulationError):
     """An operation was invoked on a process that has already crashed."""
 
 
+class WorkerError(ReproError):
+    """A worker process reported an exception that could not be re-raised.
+
+    The resilient executor ships exceptions from worker processes back to
+    the parent as pickled objects; when an exception does not pickle, the
+    parent raises this carrier with the original type name and message.
+    """
+
+
 class SpecViolation(ReproError):
     """A safety property from the paper's problem definitions was violated.
 

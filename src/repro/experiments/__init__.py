@@ -14,6 +14,9 @@
 * :mod:`repro.experiments.executor` — serial / multiprocessing execution;
   results are identical for any worker count because every run is
   deterministic in virtual time.
+* :mod:`repro.experiments.resilience` — journaled resume, per-run
+  wall-clock watchdogs, bounded worker retry with quarantine, and graceful
+  SIGINT/SIGTERM handling for long executions.
 * :mod:`repro.experiments.results` — JSON/CSV sinks and baseline comparison.
 * :mod:`repro.experiments.catalogue` — the built-in scenarios (the paper's
   headline experiments plus declarative storage workloads).
@@ -24,7 +27,20 @@ from repro.experiments.executor import (
     RunResult,
     execute_many,
     execute_run,
+    execute_run_captured,
     execute_stream,
+)
+from repro.experiments.resilience import (
+    INTERRUPT_EXIT_CODE,
+    GracefulInterrupt,
+    Quarantine,
+    ResiliencePolicy,
+    RunJournal,
+    StreamTelemetry,
+    execute_stream_resilient,
+    interruptible,
+    journalable,
+    run_digest,
 )
 from repro.experiments.registry import (
     FunctionScenario,
@@ -42,6 +58,7 @@ from repro.experiments.results import (
     compare_payloads,
     dumps_json,
     load_payload,
+    load_quarantine,
     payload_entry,
     to_payload,
     write_csv,
@@ -110,8 +127,20 @@ __all__ = [
     "expand_points",
     "RunResult",
     "execute_run",
+    "execute_run_captured",
     "execute_many",
     "execute_stream",
+    # resilience
+    "INTERRUPT_EXIT_CODE",
+    "GracefulInterrupt",
+    "Quarantine",
+    "ResiliencePolicy",
+    "RunJournal",
+    "StreamTelemetry",
+    "execute_stream_resilient",
+    "interruptible",
+    "journalable",
+    "run_digest",
     # results
     "payload_entry",
     "to_payload",
@@ -120,5 +149,6 @@ __all__ = [
     "write_jsonl_line",
     "write_csv",
     "load_payload",
+    "load_quarantine",
     "compare_payloads",
 ]

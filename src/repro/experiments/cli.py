@@ -12,7 +12,11 @@ Subcommands:
   results are identical either way.  ``--spec path.json`` sweeps a spec
   file instead of a registered scenario.  Progress is reported per run on
   stderr, and ``--jsonl`` streams results to a chunked sink as they
-  complete instead of holding the whole sweep in memory.
+  complete instead of holding the whole sweep in memory.  The resilience
+  flags (``--journal``/``--resume``/``--run-timeout``/``--retry``/
+  ``--quarantine``, shared with ``chaos``) add journaled resume, a
+  per-run watchdog and bounded worker retry — see
+  :mod:`repro.experiments.resilience`.
 * ``chaos``    — run a chaos campaign over a declarative scenario: LHS-
   sample its fault space (outages, partitions, gray failures), execute
   every sampled configuration with tracing enabled, judge each run with
@@ -48,10 +52,21 @@ import multiprocessing
 import os
 import re
 import sys
+from contextlib import nullcontext
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import ReproError
-from repro.experiments.executor import RunResult, execute_many, execute_stream
+from repro.experiments.executor import RunResult, execute_many
+from repro.experiments.resilience import (
+    INTERRUPT_EXIT_CODE,
+    GracefulInterrupt,
+    Quarantine,
+    ResiliencePolicy,
+    RunJournal,
+    StreamTelemetry,
+    execute_stream_resilient,
+    interruptible,
+)
 from repro.experiments.registry import (
     all_scenarios,
     get_scenario,
@@ -166,10 +181,18 @@ def _resolve_scenario(args: argparse.Namespace) -> str:
         raise ReproError("give a registered scenario name or --spec, not both")
     if spec_path:
         workers = getattr(args, "workers", 1)
-        if workers > 1 and "fork" not in multiprocessing.get_all_start_methods():
+        # The watchdog/retry pool also runs in worker processes, even with
+        # --workers 1, so it needs fork for the same reason.
+        needs_workers = (
+            workers > 1
+            or getattr(args, "run_timeout", None) is not None
+            or getattr(args, "retry", 1) > 1
+        )
+        if needs_workers and "fork" not in multiprocessing.get_all_start_methods():
             raise ReproError(
                 "sweep --spec needs fork-based workers (spawn-only platforms "
-                "cannot see the runtime-registered spec); use --workers 1"
+                "cannot see the runtime-registered spec); use --workers 1 "
+                "without --run-timeout/--retry"
             )
         scenario_names()  # load the built-in catalogue first, so a spec file
         spec = load_spec_file(spec_path)  # shadowing a name wins (replace=True)
@@ -267,12 +290,60 @@ def _traced_runs(
     return traced
 
 
+def _resilience_options(
+    args: argparse.Namespace,
+) -> "tuple[ResiliencePolicy, Optional[str], bool, Optional[str]]":
+    """Resolve the shared resilience flags into concrete settings.
+
+    ``--resume PATH`` implies journaling to PATH; giving both ``--journal``
+    and ``--resume`` is only valid when they agree.  The quarantine sidecar
+    defaults to ``<journal>.quarantine.jsonl`` next to the journal (the
+    file is only created if something is actually quarantined).
+    """
+    journal_path = args.resume or args.journal
+    if args.resume and args.journal and args.resume != args.journal:
+        raise ReproError(
+            "--journal and --resume point at different files; give one path"
+        )
+    quarantine_path = args.quarantine
+    if quarantine_path is None and journal_path is not None:
+        quarantine_path = journal_path + ".quarantine.jsonl"
+    policy = ResiliencePolicy(
+        run_timeout=args.run_timeout, max_attempts=args.retry
+    )
+    policy.validate()
+    return policy, journal_path, args.resume is not None, quarantine_path
+
+
+def _resilience_summary(
+    telemetry: StreamTelemetry, quarantine_path: Optional[str]
+) -> str:
+    counts = telemetry.as_dict()
+    line = (f"resilience: resumed {telemetry.resumed}, "
+            f"retries {counts['retries']}, timeouts {counts['timeouts']}, "
+            f"quarantined {counts['quarantined']}")
+    if counts["quarantined"] and quarantine_path:
+        line += f" (see {quarantine_path})"
+    return line
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     scenario = _resolve_scenario(args)
     runs = _sweep_runs(args, scenario)
     if args.trace_dir:
         runs = _traced_runs(runs, args.trace_dir, scenario)
     total = len(runs)
+    policy, journal_path, resume, quarantine_path = _resilience_options(args)
+    telemetry = StreamTelemetry()
+    quarantine = Quarantine(quarantine_path)
+    journal: Optional[RunJournal] = None
+    if journal_path is not None:
+        journal = RunJournal(
+            journal_path,
+            {"kind": "sweep", "version": 1, "scenario": scenario},
+            resume=resume,
+        )
+    resilient = journal is not None or policy.needs_pool
     # Buffer results only for sinks that need the complete, input-ordered
     # list; a --jsonl-only sweep streams in constant memory.
     need_buffer = bool(args.json or args.csv) or not args.quiet
@@ -280,17 +351,43 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     jsonl_handle = open(args.jsonl, "w", encoding="utf-8") if args.jsonl else None
     done = 0
     try:
-        for index, result in execute_stream(runs, workers=args.workers):
-            done += 1
-            if jsonl_handle is not None:
-                write_jsonl_line(result, jsonl_handle)
-            if buffer is not None:
-                buffer[index] = result
-            if not args.no_progress:
-                print(f"[{done}/{total}] {result.run_id}", file=sys.stderr)
+        # SIGINT/SIGTERM flush the journal (it flushes per line) and exit
+        # with the distinct "interrupted, resumable" status — but only when
+        # a journal is active; plain sweeps keep KeyboardInterrupt.
+        with interruptible() if journal is not None else nullcontext():
+            for index, result in execute_stream_resilient(
+                runs, workers=args.workers, policy=policy, journal=journal,
+                quarantine=quarantine, telemetry=telemetry,
+            ):
+                done += 1
+                if jsonl_handle is not None:
+                    write_jsonl_line(result, jsonl_handle)
+                if buffer is not None:
+                    buffer[index] = result
+                if not args.no_progress:
+                    print(f"[{done}/{total}] {result.run_id}"
+                          f"{telemetry.suffix()}", file=sys.stderr)
+        if journal is not None:
+            journal.record_summary({
+                "completed": done, "total": total,
+                "resumed": telemetry.resumed, **telemetry.as_dict(),
+            })
+    except GracefulInterrupt as interrupt:
+        print(
+            f"interrupted ({interrupt.signal_name}): {done}/{total} run(s) "
+            f"journaled to {journal.path}; resume with "  # type: ignore[union-attr]
+            f"--resume {journal.path}",  # type: ignore[union-attr]
+            file=sys.stderr,
+        )
+        return INTERRUPT_EXIT_CODE
     finally:
         if jsonl_handle is not None:
             jsonl_handle.close()
+        quarantine.close()
+        if journal is not None:
+            journal.close()
+    if resilient:
+        print(_resilience_summary(telemetry, quarantine_path), file=sys.stderr)
     if buffer is not None:
         _emit([result for result in buffer if result is not None], args)
     if getattr(args, "quiet", False):
@@ -509,24 +606,46 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     times = tuple(
         _parse_value(value) for value in args.times.split(",") if value != ""
     )
+    policy, journal_path, resume, quarantine_path = _resilience_options(args)
+    telemetry = StreamTelemetry()
     progress = None
     if not args.no_progress:
         def progress(done: int, total: int) -> None:
-            print(f"[{done}/{total}] chaos runs completed", file=sys.stderr)
-    campaign = run_campaign(
-        scenario,
-        sample=args.sample,
-        seed=args.seed,
-        workers=args.workers,
-        benign=args.benign,
-        times=times,
-        outage_length=args.outage_length,
-        window_length=args.window_length,
-        min_quorum=args.min_quorum,
-        degradation_threshold=args.threshold,
-        keep_traces=args.keep_traces,
-        progress=progress,
-    )
+            print(f"[{done}/{total}] chaos runs completed"
+                  f"{telemetry.suffix()}", file=sys.stderr)
+    try:
+        # As in sweep: with a journal active, SIGINT/SIGTERM become a
+        # flushed, resumable exit with a distinct status.
+        with interruptible() if journal_path is not None else nullcontext():
+            campaign = run_campaign(
+                scenario,
+                sample=args.sample,
+                seed=args.seed,
+                workers=args.workers,
+                benign=args.benign,
+                times=times,
+                outage_length=args.outage_length,
+                window_length=args.window_length,
+                min_quorum=args.min_quorum,
+                degradation_threshold=args.threshold,
+                keep_traces=args.keep_traces,
+                progress=progress,
+                policy=policy,
+                journal_path=journal_path,
+                resume=resume,
+                quarantine_path=quarantine_path,
+                telemetry=telemetry,
+            )
+    except GracefulInterrupt as interrupt:
+        print(
+            f"interrupted ({interrupt.signal_name}): judged runs journaled "
+            f"to {journal_path}; resume with --resume {journal_path}",
+            file=sys.stderr,
+        )
+        return INTERRUPT_EXIT_CODE
+    if journal_path is not None or policy.needs_pool:
+        print(_resilience_summary(telemetry, quarantine_path),
+              file=sys.stderr)
     if args.report:
         campaign.write(args.report)
         print(f"report: {args.report}", file=sys.stderr)
@@ -574,6 +693,35 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             print(f"{diff['run_id']}: {diff['kind']}")
     print(f"{len(diffs)} difference(s) found")
     return 1
+
+
+def _add_resilience_args(parser: argparse.ArgumentParser, noun: str) -> None:
+    """The shared resilience flags (sweep and chaos take the same set)."""
+    group = parser.add_argument_group("resilience")
+    group.add_argument("--journal", metavar="PATH",
+                       help=f"journal completed {noun} to an append-only "
+                       "JSONL file as they land (overwrites PATH); an "
+                       "interrupted invocation can then --resume it")
+    group.add_argument("--resume", metavar="PATH",
+                       help="resume from a journal written by --journal: "
+                       "journaled configurations are skipped (results are "
+                       "deterministic, so the final report is byte-identical "
+                       "to an uninterrupted run) and new completions are "
+                       "appended; a missing file starts fresh")
+    group.add_argument("--run-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-run wall-clock watchdog: a run exceeding "
+                       "this is killed and recorded as a WatchdogTimeout "
+                       "error while the rest keep going")
+    group.add_argument("--retry", type=int, default=1, metavar="N",
+                       help="dispatch a run whose worker process died up to "
+                       "N times total (exponential backoff between "
+                       "attempts); default 1 = no retry")
+    group.add_argument("--quarantine", metavar="PATH",
+                       help="JSONL sidecar for configurations that failed "
+                       "every --retry attempt (default: "
+                       "<journal>.quarantine.jsonl when journaling; the "
+                       "file is only created when something is quarantined)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -687,6 +835,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--no-progress", action="store_true",
                          help="suppress per-run progress lines on stderr")
     p_sweep.add_argument("--quiet", action="store_true", help="suppress stdout JSON")
+    _add_resilience_args(p_sweep, "runs")
     p_sweep.set_defaults(fn=_cmd_sweep)
 
     p_chaos = sub.add_parser(
@@ -761,6 +910,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="suppress per-run progress lines on stderr")
     p_chaos.add_argument("--quiet", action="store_true",
                          help="suppress the stdout JSONL report")
+    _add_resilience_args(p_chaos, "judged runs")
     p_chaos.set_defaults(fn=_cmd_chaos)
 
     p_compare = sub.add_parser(
@@ -967,11 +1117,21 @@ def _normalise_argv(argv: Sequence[str]) -> List[str]:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit status (0 ok, 1 diff, 2 error)."""
+    """CLI entry point; returns the process exit status.
+
+    0 = ok, 1 = diff/violations, 2 = error, 3 = interrupted but resumable
+    (:data:`~repro.experiments.resilience.INTERRUPT_EXIT_CODE`: a journal
+    was flushed, rerun with ``--resume`` to continue).
+    """
     parser = build_parser()
     args = parser.parse_args(_normalise_argv(sys.argv[1:] if argv is None else argv))
     try:
         return args.fn(args)
+    except GracefulInterrupt as interrupt:
+        # Commands with an active journal handle this themselves (with a
+        # resume hint); this is the backstop for every other code path.
+        print(f"interrupted: {interrupt.signal_name}", file=sys.stderr)
+        return INTERRUPT_EXIT_CODE
     except (ReproError, OSError, json.JSONDecodeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

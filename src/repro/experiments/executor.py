@@ -84,6 +84,13 @@ def execute_run_captured(run: RunSpec) -> RunResult:
     The captured dict is deterministic (exception type and message only),
     so campaign reports stay byte-identical across serial and parallel
     execution.
+
+    Non-:class:`~repro.errors.ReproError` exceptions are captured too —
+    a ``RecursionError`` from an LHS-sampled config is a finding, not a
+    reason to lose the campaign — but marked ``"unexpected": true`` so
+    oracles and readers can tell a library-diagnosed failure from a bug
+    the library never anticipated.  ``KeyboardInterrupt``/``SystemExit``
+    (and other ``BaseException``\\ s) still propagate.
     """
     from repro.errors import ReproError
 
@@ -96,6 +103,19 @@ def execute_run_captured(run: RunSpec) -> RunResult:
             result={
                 "scenario": run.scenario,
                 "error": {"type": type(error).__name__, "message": str(error)},
+            },
+        )
+    except Exception as error:
+        return RunResult(
+            scenario=run.scenario,
+            params=run.params,
+            result={
+                "scenario": run.scenario,
+                "error": {
+                    "type": type(error).__name__,
+                    "message": str(error),
+                    "unexpected": True,
+                },
             },
         )
 

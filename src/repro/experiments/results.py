@@ -21,6 +21,7 @@ from __future__ import annotations
 import csv
 import json
 import math
+import os
 from numbers import Number
 from typing import Any, Dict, Iterable, List, Mapping, Sequence, TextIO
 
@@ -33,6 +34,7 @@ __all__ = [
     "write_json",
     "write_jsonl_line",
     "load_payload",
+    "load_quarantine",
     "write_csv",
     "flatten_values",
     "compare_payloads",
@@ -83,6 +85,22 @@ def load_payload(path: str) -> Payload:
     if not stripped or stripped.startswith("["):
         return json.loads(text)
     return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+def load_quarantine(path: str) -> Payload:
+    """Load a quarantine sidecar written by a resilient sweep or campaign.
+
+    Each record carries ``index``, ``run_id``, ``scenario``, ``attempts``,
+    the final ``error``, an optional ``traceback`` and a ``spec`` block
+    (``scenario`` plus the exact parameter overrides) — everything needed
+    to re-run the poisoned configuration by hand.  A missing file is an
+    empty quarantine (the sidecar is only created when something fails
+    every attempt).
+    """
+    if not os.path.exists(path):
+        return []
+    with open(path, "r", encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
 
 
 def flatten_values(value: Any, prefix: str = "") -> Dict[str, Any]:

@@ -34,6 +34,7 @@ from repro.chaos.oracles import (
     TraceInvariantOracle,
 )
 from repro.errors import ConfigurationError
+from repro.experiments import StreamTelemetry
 from repro.experiments.cli import main
 from repro.experiments.executor import execute_run, run_with_stable_stack
 from repro.experiments.registry import get_scenario, register_spec
@@ -142,6 +143,30 @@ class TestOracles:
         assert [v.check for v in report.violations] == ["run-failure"]
         assert "DeadlockError" in report.violations[0].message
         assert report.details == {"completed": False}
+
+    def test_result_oracle_accounts_watchdog_timeouts(self):
+        report = ResultOracle().judge(self.outcome(
+            {"error": {"type": "WatchdogTimeout", "message": "killed",
+                       "run_timeout": 1.0}}
+        ))
+        assert [v.check for v in report.violations] == ["run-timeout"]
+        assert report.details == {"completed": False, "timed_out": True}
+
+    def test_result_oracle_accounts_quarantined_configs(self):
+        report = ResultOracle().judge(self.outcome(
+            {"error": {"type": "WorkerCrashed", "message": "died twice",
+                       "attempts": 2, "quarantined": True}}
+        ))
+        assert [v.check for v in report.violations] == ["run-quarantined"]
+        assert report.details == {"completed": False, "quarantined": True}
+
+    def test_result_oracle_marks_unexpected_captured_errors(self):
+        report = ResultOracle().judge(self.outcome(
+            {"error": {"type": "RecursionError", "message": "too deep",
+                       "unexpected": True}}
+        ))
+        assert [v.check for v in report.violations] == ["run-failure"]
+        assert report.details == {"completed": False, "unexpected": True}
 
     def test_result_oracle_flags_unaccounted_operations(self):
         report = ResultOracle().judge(self.outcome(
@@ -341,3 +366,68 @@ class TestChaosCli:
             "--seed", "0", "--fail-on-violations", "--quiet", "--no-progress",
         ]) == 0
         capsys.readouterr()
+
+
+class TestCampaignResilience:
+    """Journaled resume of judged entries; resumed report == uninterrupted."""
+
+    def test_legacy_campaigns_have_no_resilience_block(self, campaign):
+        # The off-path must keep its bytes (committed reports, baselines).
+        assert "resilience" not in campaign.header["campaign"]
+
+    def test_journaled_campaign_resumes_byte_identical(self, tmp_path):
+        journal = str(tmp_path / "journal.jsonl")
+        full = run_campaign("quickstart", sample=4, seed=5,
+                            journal_path=journal)
+        assert full.header["campaign"]["resilience"] == {
+            "run_timeout": None, "max_attempts": 1,
+            "retries": 0, "timeouts": 0, "quarantined": 0,
+        }
+        with open(journal, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        assert len(lines) == 6  # header + baseline + 4 judged entries
+        trunc = str(tmp_path / "trunc.jsonl")
+        with open(trunc, "w", encoding="utf-8") as handle:
+            handle.writelines(lines[:4])  # lose the last two entries
+
+        telemetry = StreamTelemetry()
+        resumed = run_campaign("quickstart", sample=4, seed=5,
+                               journal_path=trunc, resume=True,
+                               telemetry=telemetry)
+        assert telemetry.resumed == 2
+        assert list(resumed.jsonl_lines()) == list(full.jsonl_lines())
+
+    def test_resume_replays_the_journaled_baseline(self, tmp_path):
+        journal = str(tmp_path / "journal.jsonl")
+        run_campaign("quickstart", sample=2, seed=5, journal_path=journal)
+        with open(journal, "r", encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle]
+        assert records[1]["digest"] == "baseline"
+        assert "result" in records[1]
+
+    def test_journal_from_other_knobs_is_rejected(self, tmp_path):
+        journal = str(tmp_path / "journal.jsonl")
+        run_campaign("quickstart", sample=2, seed=5, journal_path=journal)
+        with pytest.raises(ConfigurationError, match="different"):
+            run_campaign("quickstart", sample=2, seed=6,
+                         journal_path=journal, resume=True)
+
+    def test_cli_chaos_resume_is_byte_identical(self, tmp_path, capsys):
+        journal = str(tmp_path / "journal.jsonl")
+        full = str(tmp_path / "full.jsonl")
+        base = [
+            "chaos", "--scenario", "quickstart", "--sample", "3",
+            "--seed", "2", "--quiet", "--no-progress",
+        ]
+        assert main(base + ["--report", full, "--journal", journal]) == 0
+        with open(journal, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        trunc = str(tmp_path / "trunc.jsonl")
+        with open(trunc, "w", encoding="utf-8") as handle:
+            handle.writelines(lines[:3])
+        resumed = str(tmp_path / "resumed.jsonl")
+        capsys.readouterr()
+        assert main(base + ["--report", resumed, "--resume", trunc]) == 0
+        assert "resilience: resumed 1" in capsys.readouterr().err
+        with open(full, "rb") as a, open(resumed, "rb") as b:
+            assert a.read() == b.read()

@@ -162,6 +162,56 @@ class TestSweepStreamingCli:
         assert "[1/2]" in err and "[2/2]" in err
 
 
+class TestSweepResilienceCli:
+    """Surface-level checks for the resilience flags; the deep kill/resume
+    coverage lives in tests/test_resilience.py."""
+
+    def test_journaled_sweep_matches_plain_and_reports_summary(
+        self, tmp_path, capsys
+    ):
+        args = ["sweep", "quickstart", "--seeds", "0,1", *FAST,
+                "--quiet", "--no-progress"]
+        plain = tmp_path / "plain.json"
+        journaled = tmp_path / "journaled.json"
+        journal = tmp_path / "sweep.journal.jsonl"
+        assert main([*args, "--json", str(plain)]) == 0
+        capsys.readouterr()
+        assert main([*args, "--json", str(journaled),
+                     "--journal", str(journal)]) == 0
+        err = capsys.readouterr().err
+        assert plain.read_text() == journaled.read_text()
+        assert "resilience: resumed 0, retries 0" in err
+        # Header line, one line per run, and the final summary line.
+        lines = journal.read_text().splitlines()
+        assert len(lines) == 4
+
+    def test_resume_skips_journaled_runs(self, tmp_path, capsys):
+        args = ["sweep", "quickstart", "--seeds", "0,1", *FAST, "--quiet"]
+        journal = tmp_path / "sweep.journal.jsonl"
+        reference = tmp_path / "reference.json"
+        resumed = tmp_path / "resumed.json"
+        assert main([*args, "--no-progress", "--json", str(reference),
+                     "--journal", str(journal)]) == 0
+        truncated = tmp_path / "truncated.jsonl"
+        truncated.write_text(
+            "\n".join(journal.read_text().splitlines()[:2]) + "\n")
+        capsys.readouterr()
+        assert main([*args, "--json", str(resumed),
+                     "--resume", str(truncated)]) == 0
+        err = capsys.readouterr().err
+        assert reference.read_text() == resumed.read_text()
+        assert "(resumed 1)" in err  # progress suffix marks replayed runs
+        assert "resilience: resumed 1" in err
+
+    def test_conflicting_journal_and_resume_paths_rejected(
+        self, tmp_path, capsys
+    ):
+        assert main(["sweep", "quickstart", "--seeds", "0", *FAST, "--quiet",
+                     "--journal", str(tmp_path / "a.jsonl"),
+                     "--resume", str(tmp_path / "b.jsonl")]) == 2
+        assert "give one path" in capsys.readouterr().err
+
+
 class TestWorkloadScenariosCli:
     def test_list_shows_workload_scenarios(self, capsys):
         assert main(["list", "--tag", "workload"]) == 0

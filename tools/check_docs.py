@@ -46,12 +46,14 @@ REQUIRED_SECTIONS = {
         "## Observability",
         "## Trace analytics",
         "## Chaos campaigns",
+        "## Execution resilience",
     ],
     "README.md": [
         "## Scenario catalogue",
         "## Tracing a run",
         "## Analyzing a trace",
         "## Chaos campaigns",
+        "## Resilient sweeps & resume",
     ],
 }
 
