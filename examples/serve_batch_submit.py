@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Batch-submitting experiments to the lab service, end to end.
+
+Boots an in-process ``repro.serve`` server on a free port, then acts as a
+client would:
+
+1. submits a Latin-hypercube sample of the quickstart grid as one sweep job
+   and polls it to completion;
+2. streams the results back as chunked JSONL (the bytes are exactly what
+   ``python -m repro sweep --jsonl`` would have written);
+3. submits the default quickstart run and checks it against the committed
+   baseline (``benchmarks/baselines/quickstart.json``) — the service is a
+   transport, so the baseline must agree run-for-run.
+
+Against a real deployment, replace the in-process boot with
+``python -m repro serve --port 8123`` in another terminal and point
+``ServeClient`` at it.
+
+Run with:  python examples/serve_batch_submit.py
+"""
+
+import json
+import os
+import tempfile
+import threading
+
+from repro.experiments.results import compare_payloads, load_payload
+from repro.serve import ExperimentServer, ExperimentService
+from repro.serve.client import ServeClient
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE = os.path.join(REPO, "benchmarks", "baselines", "quickstart.json")
+
+
+def main() -> int:
+    jobs_dir = tempfile.mkdtemp(prefix="repro-serve-example-")
+    service = ExperimentService(jobs_dir, workers=1)
+    server = ExperimentServer(("127.0.0.1", 0), service, quiet=True)
+    service.start()
+    threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+    ).start()
+    client = ServeClient(f"http://127.0.0.1:{server.server_address[1]}")
+    print(f"server up at http://127.0.0.1:{server.server_address[1]} "
+          f"(jobs dir: {jobs_dir})")
+
+    try:
+        # 1. An LHS sample of the quickstart grid, submitted as one job.
+        job = client.submit({
+            "kind": "sweep",
+            "scenario": "quickstart",
+            "params": {"workload.operations_per_client": 4},
+            "grid": {"cluster.n": [4, 5, 6], "seed": [0, 1, 2]},
+            "sample": 3,
+            "sample_method": "lhs",
+        })
+        print(f"submitted {job['id']}: {job['total']} LHS-sampled runs")
+        final = client.wait(job["id"], timeout=300)
+        print(f"{job['id']} finished: state={final['state']} "
+              f"done={final['done']}/{final['total']}")
+
+        # 2. Stream the chunked JSONL results back.
+        lines = client.results_bytes(job["id"]).decode("utf-8").splitlines()
+        for line in lines:
+            entry = json.loads(line)
+            result = entry["result"]
+            print(f"  {entry['run_id']}: operations={result['operations']} "
+                  f"messages={result['messages']}")
+
+        # 3. The default quickstart run must match the committed baseline.
+        check = client.submit({"kind": "run", "scenario": "quickstart"})
+        client.wait(check["id"], timeout=300)
+        payload = [
+            json.loads(line)
+            for line in client.results_bytes(check["id"]).splitlines()
+        ]
+        diffs = compare_payloads(payload, load_payload(BASELINE))
+        print(f"baseline comparison   : "
+              f"{'OK' if not diffs else f'{len(diffs)} difference(s)'}")
+        return 1 if diffs else 0
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.shutdown()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

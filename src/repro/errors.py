@@ -14,7 +14,18 @@ class ReproError(Exception):
 
 
 class ConfigurationError(ReproError):
-    """An object was constructed with inconsistent or invalid parameters."""
+    """An object was constructed with inconsistent or invalid parameters.
+
+    ``path`` optionally locates the offending value as a dotted section path
+    (``workload.keys.zipf_s``, ``faults.crashes[0]``); spec validation
+    attaches it so the CLI and the serving layer can render errors uniformly
+    without parsing it back out of the message.  ``str(error)`` stays the
+    bare message either way.
+    """
+
+    def __init__(self, message: str = "", path: "str | None" = None) -> None:
+        super().__init__(message)
+        self.path = path
 
 
 class SimulationError(ReproError):

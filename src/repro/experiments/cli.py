@@ -23,6 +23,11 @@ Subcommands:
   the oracle stack (trace invariants, result accounting, latency
   degradation vs baseline), and emit a deterministic ranked JSONL report;
   ``--out-dir`` writes the worst configurations as ready-to-run spec files.
+* ``serve``    — run the experiment lab as a multi-user HTTP service
+  (:mod:`repro.serve`): job submission, status, chunked JSONL results
+  byte-identical to ``run``/``sweep --jsonl``, spec validation, metrics;
+  jobs execute on the resilient executor with per-job journals, so
+  restarting the server on the same ``--jobs-dir`` resumes them.
 * ``compare``  — diff a result JSON/JSONL against a baseline (runs are
   matched by ``run_id``, so completion order does not matter).
 * ``bench``    — run the registered microbenchmarks (events/sec, ops/sec,
@@ -69,6 +74,7 @@ from repro.experiments.resilience import (
 )
 from repro.experiments.registry import (
     all_scenarios,
+    catalogue_payload,
     get_scenario,
     register_spec,
     scenario_names,
@@ -142,17 +148,9 @@ def _cmd_list(args: argparse.Namespace) -> int:
     if args.tag:
         entries = [entry for entry in entries if args.tag in entry.tags]
     if args.as_json:
-        payload = [
-            {
-                "name": entry.name,
-                "description": entry.description,
-                "tags": list(entry.tags),
-                "kind": entry.kind,
-                "parameters": {key: repr(value) for key, value in sorted(entry.defaults.items())},
-            }
-            for entry in entries
-        ]
-        print(json.dumps(payload, indent=2, sort_keys=True))
+        # The same payload `GET /scenarios` serves, so tooling can consume
+        # the CLI and the serving layer interchangeably.
+        print(json.dumps(catalogue_payload(entries), indent=2, sort_keys=True))
         return 0
     _print_table(
         ["scenario", "kind", "tags", "description"],
@@ -724,6 +722,23 @@ def _add_resilience_args(parser: argparse.ArgumentParser, noun: str) -> None:
                        "file is only created when something is quarantined)")
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: the serving layer is a leaf subsystem and the rest of
+    # the CLI must not pay for (or depend on) it.
+    from repro.serve.app import serve
+    from repro.serve.service import ExperimentService
+
+    service = ExperimentService(
+        jobs_dir=args.jobs_dir,
+        workers=args.workers,
+        job_concurrency=args.job_concurrency,
+        queue_limit=args.queue_limit,
+        run_timeout=args.run_timeout,
+        retry=args.retry,
+    )
+    return serve(args.host, args.port, service, quiet=args.quiet)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser (exposed for the test-suite)."""
     parser = argparse.ArgumentParser(
@@ -912,6 +927,39 @@ def build_parser() -> argparse.ArgumentParser:
                          help="suppress the stdout JSONL report")
     _add_resilience_args(p_chaos, "judged runs")
     p_chaos.set_defaults(fn=_cmd_chaos)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the experiment lab as an HTTP service",
+        description="Serve the experiment lab over HTTP (stdlib only): "
+        "submit runs and sweeps as jobs, stream their results as JSONL "
+        "(byte-identical to `run`/`sweep --jsonl`), validate specs, and "
+        "export metrics.  Jobs execute on the resilient executor with "
+        "per-job journals; restarting the server on the same --jobs-dir "
+        "resumes interrupted jobs.  `python -m repro.serve.client` is the "
+        "matching command-line client.",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8123,
+                         help="bind port (default 8123; 0 picks a free port)")
+    p_serve.add_argument("--jobs-dir", default="serve-jobs", metavar="DIR",
+                         help="job journals and results live here "
+                         "(default serve-jobs/); reuse it to resume")
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="default per-job executor workers")
+    p_serve.add_argument("--job-concurrency", type=int, default=1,
+                         help="jobs executing at once (default 1)")
+    p_serve.add_argument("--queue-limit", type=int, default=64,
+                         help="queued-job bound; submissions beyond it get 503")
+    p_serve.add_argument("--run-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="default per-run watchdog for jobs")
+    p_serve.add_argument("--retry", type=int, default=1, metavar="N",
+                         help="default per-run attempt budget for jobs")
+    p_serve.add_argument("--quiet", action="store_true",
+                         help="suppress per-request access logging")
+    p_serve.set_defaults(fn=_cmd_serve)
 
     p_compare = sub.add_parser(
         "compare",
@@ -1134,4 +1182,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return INTERRUPT_EXIT_CODE
     except (ReproError, OSError, json.JSONDecodeError) as error:
         print(f"error: {error}", file=sys.stderr)
+        path = getattr(error, "path", None)
+        if path:
+            print(f"  at: {path}", file=sys.stderr)
         return 2

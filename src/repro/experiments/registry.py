@@ -36,6 +36,7 @@ __all__ = [
     "get_scenario",
     "scenario_names",
     "all_scenarios",
+    "catalogue_payload",
     "registry_version",
 ]
 
@@ -210,3 +211,31 @@ def all_scenarios() -> List[Scenario]:
     """Every registered scenario, sorted by name (catalogue included)."""
     _ensure_builtin()
     return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def catalogue_payload(
+    entries: Optional[List[Scenario]] = None,
+) -> List[Dict[str, Any]]:
+    """The machine-readable scenario catalogue, one object per scenario.
+
+    This is the single payload behind both ``python -m repro list --json``
+    and the serving layer's ``GET /scenarios``: name, description, tags,
+    kind, the parameter/default map (defaults rendered with ``repr`` so the
+    payload stays JSON-serialisable for any value type) and ``sweepable`` —
+    the sorted axis names a sweep may target (dotted spec paths for
+    declarative scenarios, keyword arguments for function scenarios).
+    """
+    return [
+        {
+            "name": entry.name,
+            "description": entry.description,
+            "tags": list(entry.tags),
+            "kind": entry.kind,
+            "parameters": {
+                key: repr(value)
+                for key, value in sorted(entry.defaults.items())
+            },
+            "sweepable": sorted(entry.defaults),
+        }
+        for entry in (all_scenarios() if entries is None else entries)
+    ]

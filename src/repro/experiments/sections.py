@@ -157,7 +157,8 @@ class SpecSection:
             if name not in field_names:
                 raise ConfigurationError(
                     f"unknown key {key!r} for {cls.__name__} "
-                    f"(known keys: {', '.join(sorted(field_names))})"
+                    f"(known keys: {', '.join(sorted(field_names))})",
+                    path=key,
                 )
             if name in kwargs:
                 # An alias and its canonical spelling (or a duplicate via
@@ -195,17 +196,30 @@ class SpecSection:
         return flat
 
     # -- validation ------------------------------------------------------------
-    def validate(self: S) -> S:
-        """Check semantic constraints recursively; returns ``self`` for chaining."""
+    def validate(self: S, path: str = "") -> S:
+        """Check semantic constraints recursively; returns ``self`` for chaining.
+
+        ``path`` is the dotted location of this section within the root spec
+        (empty at the root).  A :class:`ConfigurationError` raised anywhere
+        below gets the innermost section's path attached as its ``path``
+        attribute — unless the raiser already supplied a more precise one —
+        so callers can render dotted-path errors without parsing messages.
+        """
         for field in dataclasses.fields(self):
             value = getattr(self, field.name)
+            child = f"{path}{field.name}"
             if isinstance(value, SpecSection):
-                value.validate()
+                value.validate(path=f"{child}.")
             elif isinstance(value, tuple):
-                for item in value:
+                for index, item in enumerate(value):
                     if isinstance(item, SpecSection):
-                        item.validate()
-        self._validate()
+                        item.validate(path=f"{child}[{index}].")
+        try:
+            self._validate()
+        except ConfigurationError as error:
+            if error.path is None:
+                error.path = path.rstrip(".") or None
+            raise
         return self
 
     def _validate(self) -> None:

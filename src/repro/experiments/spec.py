@@ -748,24 +748,28 @@ class FaultSpec(SpecSection):
                 if not (isinstance(entry, tuple) and len(entry) == 2):
                     raise ConfigurationError(
                         f"invalid faults.{label}[{index}] entry {entry!r}: "
-                        "expected (process, at)"
+                        "expected (process, at)",
+                        path=f"faults.{label}[{index}]",
                     )
                 if entry[1] < 0:
                     raise ConfigurationError(
                         f"faults.{label}[{index}] times must be non-negative, "
-                        f"got {entry[1]}"
+                        f"got {entry[1]}",
+                        path=f"faults.{label}[{index}]",
                     )
         for index, entry in enumerate(_coerce_outages(self.outages)):
             process, at, until = entry
             if at < 0:
                 raise ConfigurationError(
                     f"faults.outages[{index}] times must be non-negative, "
-                    f"got {at}"
+                    f"got {at}",
+                    path=f"faults.outages[{index}]",
                 )
             if until is not None and until <= at:
                 raise ConfigurationError(
                     f"faults.outages[{index}] recovers at until={until}, at or "
-                    f"before its crash at={at}"
+                    f"before its crash at={at}",
+                    path=f"faults.outages[{index}]",
                 )
         self._check_recovery_order()
         windows = list(_coerce_partitions(self.partitions))
@@ -777,7 +781,8 @@ class FaultSpec(SpecSection):
                         f"partition windows faults.partitions[{index}] and "
                         f"faults.partitions[{other_index}] overlap: "
                         f"[{window.at}, {window.heal_at}) and "
-                        f"[{other.at}, {other.heal_at})"
+                        f"[{other.at}, {other.heal_at})",
+                        path=f"faults.partitions[{other_index}]",
                     )
 
     def _check_recovery_order(self) -> None:
@@ -814,7 +819,8 @@ class FaultSpec(SpecSection):
                 raise ConfigurationError(
                     f"{path} recovers {process!r} at t={at}, but it is not "
                     "down then (recoveries resolve before crashes at equal "
-                    "times; schedule the crash strictly earlier)"
+                    "times; schedule the crash strictly earlier)",
+                    path=path,
                 )
 
     def check_processes(
@@ -836,7 +842,8 @@ class FaultSpec(SpecSection):
                 if pid not in known_set:
                     raise ConfigurationError(
                         f"{path} targets unknown process {pid!r} "
-                        f"(known: {', '.join(sorted(known_set))})"
+                        f"(known: {', '.join(sorted(known_set))})",
+                        path=path,
                     )
 
         for index, (process, _) in enumerate(self.crashes):
@@ -956,7 +963,10 @@ class ScenarioSpec(SpecSection):
 
 def _replace_path(obj: Any, full_key: str, parts: List[str], value: Any) -> Any:
     if not dataclasses.is_dataclass(obj):
-        raise ConfigurationError(f"parameter path {full_key!r} descends into a non-spec value")
+        raise ConfigurationError(
+            f"parameter path {full_key!r} descends into a non-spec value",
+            path=full_key,
+        )
     field_names = {field.name for field in dataclasses.fields(obj)}
     head = parts[0]
     if isinstance(obj, SpecSection):
@@ -964,7 +974,8 @@ def _replace_path(obj: Any, full_key: str, parts: List[str], value: Any) -> Any:
     if head not in field_names:
         raise ConfigurationError(
             f"unknown parameter {full_key!r}: {type(obj).__name__} has no field {head!r} "
-            f"(fields: {', '.join(sorted(field_names))})"
+            f"(fields: {', '.join(sorted(field_names))})",
+            path=full_key,
         )
     if len(parts) == 1:
         if isinstance(value, list):  # CLI/JSON hand tuples in as lists

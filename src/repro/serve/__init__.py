@@ -1,0 +1,44 @@
+"""repro.serve — the experiment lab as a multi-user HTTP service.
+
+Three layers, stdlib only:
+
+* :mod:`repro.serve.schemas` — typed request bodies on the Spec v2 section
+  protocol (strict unknown-key rejection, dotted-path validation errors);
+* :mod:`repro.serve.service` — the transport-free job store and scheduler
+  running jobs on the resilient executor with per-job run journals, so a
+  restarted server resumes interrupted jobs byte-identically;
+* :mod:`repro.serve.routes` / :mod:`repro.serve.app` — the endpoint table
+  and the ``ThreadingHTTPServer`` front end streaming results as chunked
+  JSONL, byte-identical to the CLI's ``--jsonl`` sink.
+
+:mod:`repro.serve.client` is the matching stdlib client used by tests, CI
+and ``python -m repro.serve.client``.  It is deliberately *not* re-exported
+here: the client must stay importable (and ``-m``-runnable) without pulling
+in the server stack.
+"""
+
+from repro.serve.app import ExperimentHandler, ExperimentServer, serve
+from repro.serve.routes import Response, dispatch
+from repro.serve.schemas import JobRequest, error_payload
+from repro.serve.service import (
+    ExperimentService,
+    Job,
+    JobStateError,
+    QueueFullError,
+    UnknownJobError,
+)
+
+__all__ = [
+    "ExperimentHandler",
+    "ExperimentServer",
+    "ExperimentService",
+    "Job",
+    "JobRequest",
+    "JobStateError",
+    "QueueFullError",
+    "Response",
+    "UnknownJobError",
+    "dispatch",
+    "error_payload",
+    "serve",
+]

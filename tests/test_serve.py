@@ -1,0 +1,450 @@
+"""Serving-layer tests: schemas, service, routes, HTTP round-trips, resume.
+
+The byte-identity contract is asserted at every level: a job's streamed
+results must equal the file the equivalent ``python -m repro run`` /
+``sweep --jsonl`` invocation writes — including after cancellation +
+resubmission and after a ``kill -9`` mid-sweep followed by a restart on the
+same jobs directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.cli import main
+from repro.experiments.registry import catalogue_payload
+from repro.experiments.results import compare_payloads, load_payload
+from repro.serve.app import ExperimentServer
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.routes import dispatch
+from repro.serve.schemas import JobRequest, error_payload
+from repro.serve.service import (
+    ExperimentService,
+    JobStateError,
+    QueueFullError,
+    UnknownJobError,
+    expand_runs,
+)
+
+FAST = {"workload.operations_per_client": 2}
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+QUICKSTART_SPEC = os.path.join(REPO, "examples", "specs", "quickstart.json")
+
+
+def wait_for(predicate, timeout=120.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() >= deadline:
+            raise AssertionError("condition not reached in time")
+        time.sleep(interval)
+
+
+def cli_sweep_bytes(tmp_path, name, argv):
+    """The reference bytes: a direct `sweep ... --jsonl` invocation."""
+    path = tmp_path / name
+    assert main(["sweep", *argv, "--jsonl", str(path), "--quiet",
+                 "--no-progress"]) == 0
+    return path.read_bytes()
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = ExperimentService(str(tmp_path / "jobs"), workers=1)
+    svc.start()
+    yield svc
+    svc.shutdown()
+
+
+@pytest.fixture
+def http_client(service):
+    server = ExperimentServer(("127.0.0.1", 0), service, quiet=True)
+    thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+    )
+    thread.start()
+    yield ServeClient(f"http://127.0.0.1:{server.server_address[1]}")
+    server.shutdown()
+    server.server_close()
+
+
+class TestSchemas:
+    def test_unknown_key_rejected_with_path(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            JobRequest.from_dict({"scenario": "quickstart", "bogus": 1})
+        assert excinfo.value.path == "bogus"
+        assert "bogus" in str(excinfo.value)
+
+    @pytest.mark.parametrize("body,path", [
+        ({"kind": "walk", "scenario": "quickstart"}, "kind"),
+        ({}, "scenario"),
+        ({"scenario": "a", "spec": {"name": "a"}}, "scenario"),
+        ({"scenario": "a", "grid": {"seed": [1]}}, "kind"),
+        ({"kind": "sweep", "scenario": "a", "grid": {"seed": 3}}, "grid.seed"),
+        ({"kind": "sweep", "scenario": "a", "sample": 0}, "sample"),
+        ({"kind": "sweep", "scenario": "a", "sample": 2,
+          "sample_method": "sobol"}, "sample_method"),
+        ({"scenario": "a", "workers": 0}, "workers"),
+        ({"scenario": "a", "run_timeout": 0}, "run_timeout"),
+        ({"scenario": "a", "retry": 0}, "retry"),
+    ])
+    def test_validation_paths(self, body, path):
+        with pytest.raises(ConfigurationError) as excinfo:
+            JobRequest.from_dict(body).validate()
+        assert excinfo.value.path == path
+
+    def test_error_payload_shape(self):
+        payload = error_payload(ConfigurationError("boom", path="a.b"))
+        assert payload == {"message": "boom", "type": "ConfigurationError",
+                           "path": "a.b"}
+
+    def test_expand_runs_matches_cli_expansion(self):
+        request = JobRequest.from_dict({
+            "kind": "sweep", "scenario": "quickstart",
+            "grid": {"cluster.n": [4, 5]}, "seeds": [0, 1],
+        }).validate()
+        runs = expand_runs(request, "quickstart")
+        assert [run.params_dict["cluster.n"] for run in runs] == [4, 4, 5, 5]
+        assert [run.params_dict["seed"] for run in runs] == [0, 1, 0, 1]
+
+
+class TestStructuredErrors:
+    def test_spec_override_error_carries_path(self):
+        from repro.experiments.spec import ScenarioSpec
+        spec = ScenarioSpec.from_dict(json.load(open(QUICKSTART_SPEC)))
+        with pytest.raises(ConfigurationError) as excinfo:
+            spec.with_overrides({"cluster.bogus": 1})
+        assert excinfo.value.path == "cluster.bogus"
+
+    def test_section_validation_attaches_section_path(self):
+        from repro.experiments.spec import ScenarioSpec
+        data = json.load(open(QUICKSTART_SPEC))
+        data["workload"] = dict(data["workload"], operations_per_client=-1)
+        with pytest.raises(ConfigurationError) as excinfo:
+            ScenarioSpec.from_dict(data).validate()
+        assert excinfo.value.path == "workload"
+
+    def test_cli_prints_path_hint(self, tmp_path, capsys):
+        data = json.load(open(QUICKSTART_SPEC))
+        data["workload"] = dict(data["workload"], operations_per_client=-1)
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(data))
+        assert main(["run", "--spec", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "at: workload" in err
+
+    def test_message_unchanged_by_path(self):
+        error = ConfigurationError("plain message", path="x.y")
+        assert str(error) == "plain message"
+
+
+class TestCatalogue:
+    def test_list_json_matches_scenarios_endpoint(self, capsys):
+        assert main(["list", "--json"]) == 0
+        cli_payload = json.loads(capsys.readouterr().out)
+        assert cli_payload == catalogue_payload()
+        entry = {item["name"]: item for item in cli_payload}["quickstart"]
+        assert "cluster.n" in entry["sweepable"]
+        assert entry["sweepable"] == sorted(entry["parameters"])
+
+    def test_get_scenarios_over_http(self, http_client):
+        payload = http_client.scenarios()
+        assert payload == catalogue_payload()
+
+
+class TestServiceExecution:
+    def test_run_job_byte_identical_to_cli(self, service, tmp_path):
+        request = JobRequest.from_dict(
+            {"kind": "run", "scenario": "quickstart", "params": FAST}
+        )
+        job = service.submit(request)
+        assert job.finished_event.wait(120)
+        assert job.state == "done"
+        want = cli_sweep_bytes(
+            tmp_path, "direct.jsonl",
+            ["quickstart", "-p", "workload.operations_per_client=2"],
+        )
+        assert job.results_path and open(job.results_path, "rb").read() == want
+
+    def test_concurrent_jobs_share_service(self, tmp_path):
+        service = ExperimentService(
+            str(tmp_path / "jobs"), workers=1, job_concurrency=2
+        )
+        service.start()
+        try:
+            jobs = [
+                service.submit(JobRequest.from_dict({
+                    "kind": "sweep", "scenario": "quickstart",
+                    "params": FAST, "seeds": [seed, seed + 10],
+                }))
+                for seed in (0, 1)
+            ]
+            for job in jobs:
+                assert job.finished_event.wait(120)
+                assert job.state == "done"
+                assert job.done_runs == 2
+            payloads = [load_payload(job.results_path) for job in jobs]
+            assert {entry["params"]["seed"] for entry in payloads[0]} == {0, 10}
+            assert {entry["params"]["seed"] for entry in payloads[1]} == {1, 11}
+        finally:
+            service.shutdown()
+
+    def test_queue_limit_rejects_submissions(self, tmp_path):
+        service = ExperimentService(str(tmp_path / "jobs"), queue_limit=1)
+        # Not started: jobs stay queued, so the limit is hit deterministically.
+        service.submit(JobRequest.from_dict(
+            {"kind": "run", "scenario": "quickstart", "params": FAST}))
+        with pytest.raises(QueueFullError):
+            service.submit(JobRequest.from_dict(
+                {"kind": "run", "scenario": "quickstart", "params": FAST}))
+        service.shutdown()
+
+    def test_unknown_parameter_rejected_with_path(self, service):
+        with pytest.raises(ConfigurationError) as excinfo:
+            service.submit(JobRequest.from_dict(
+                {"kind": "run", "scenario": "quickstart",
+                 "params": {"cluster.bogus": 3}}))
+        assert excinfo.value.path == "params.cluster.bogus"
+
+    def test_cancel_mid_sweep_keeps_journal(self, service):
+        job = service.submit(JobRequest.from_dict({
+            "kind": "sweep", "scenario": "quickstart", "params": FAST,
+            "grid": {"cluster.n": [4, 5]}, "seeds": [0, 1, 2],
+        }))
+        wait_for(lambda: job.done_runs >= 1)
+        service.cancel(job.id)
+        assert job.finished_event.wait(120)
+        assert job.state == "cancelled"
+        assert 1 <= job.done_runs < len(job.runs)
+        # The journal retains every completed run for a later resume.
+        journal_lines = [
+            json.loads(line)
+            for line in open(job.journal_path, encoding="utf-8")
+        ]
+        entries = [line for line in journal_lines if "digest" in line]
+        assert len(entries) >= job.done_runs - 1  # last run may post-date cancel
+        with pytest.raises(JobStateError):
+            service.cancel(job.id)
+
+    def test_cancel_queued_job_immediately(self, tmp_path):
+        service = ExperimentService(str(tmp_path / "jobs"))
+        job = service.submit(JobRequest.from_dict(
+            {"kind": "run", "scenario": "quickstart", "params": FAST}))
+        cancelled = service.cancel(job.id)
+        assert cancelled.state == "cancelled"
+        assert job.finished_event.is_set()
+        service.shutdown()
+
+    def test_unknown_job_raises(self, service):
+        with pytest.raises(UnknownJobError):
+            service.job("job-999999")
+
+
+class TestRestartResume:
+    def test_graceful_shutdown_then_restart_is_byte_identical(self, tmp_path):
+        request = JobRequest.from_dict({
+            "kind": "sweep", "scenario": "quickstart", "params": FAST,
+            "grid": {"cluster.n": [4, 5]}, "seeds": [0, 1],
+        })
+        want = cli_sweep_bytes(
+            tmp_path, "direct.jsonl",
+            ["quickstart", "-p", "workload.operations_per_client=2",
+             "-g", "cluster.n=4,5", "--seeds", "0,1"],
+        )
+        jobs_dir = str(tmp_path / "jobs")
+        first = ExperimentService(jobs_dir, workers=1)
+        first.start()
+        job = first.submit(request)
+        wait_for(lambda: job.done_runs >= 1)
+        first.shutdown()  # graceful: job stays resumable
+        assert job.state == "running"
+
+        second = ExperimentService(jobs_dir, workers=1)
+        resumed = second.job(job.id)
+        assert resumed.state == "queued"
+        second.start()
+        assert resumed.finished_event.wait(120)
+        assert resumed.state == "done"
+        assert resumed.done_runs == 4
+        assert resumed.telemetry.resumed >= 1
+        assert open(resumed.results_path, "rb").read() == want
+        second.shutdown()
+
+
+class TestRoutes:
+    def test_unknown_route_is_404(self, service):
+        response = dispatch(service, "GET", "/nope")
+        assert response.status == 404
+        assert response.payload["error"]["type"] == "ConfigurationError"
+
+    def test_wrong_method_is_405(self, service):
+        response = dispatch(service, "POST", "/healthz")
+        assert response.status == 405
+        assert "GET" in response.payload["error"]["message"]
+
+    def test_invalid_json_body_is_400(self, service):
+        response = dispatch(service, "POST", "/jobs", b"{nope")
+        assert response.status == 400
+
+    def test_malformed_spec_submission_is_400_with_path(self, service):
+        body = json.dumps({
+            "kind": "run",
+            "spec": {"name": "x", "bad_section": {}},
+        }).encode()
+        response = dispatch(service, "POST", "/jobs", body)
+        assert response.status == 400
+        assert response.payload["error"]["path"] == "bad_section"
+
+    def test_validate_endpoint_judges_specs(self, service):
+        good = json.load(open(QUICKSTART_SPEC))
+        response = dispatch(service, "POST", "/specs/validate",
+                            json.dumps(good).encode())
+        assert response.status == 200
+        assert response.payload["ok"] is True
+        assert "cluster.n" in response.payload["sweepable"]
+        bad = dict(good, workload=dict(good["workload"],
+                                       operations_per_client=-1))
+        response = dispatch(service, "POST", "/specs/validate",
+                            json.dumps(bad).encode())
+        assert response.status == 200
+        assert response.payload["ok"] is False
+        assert response.payload["errors"][0]["path"] == "workload"
+
+    def test_queue_full_is_503(self, tmp_path):
+        service = ExperimentService(str(tmp_path / "jobs"), queue_limit=1)
+        body = json.dumps({"kind": "run", "scenario": "quickstart",
+                           "params": FAST}).encode()
+        assert dispatch(service, "POST", "/jobs", body).status == 201
+        assert dispatch(service, "POST", "/jobs", body).status == 503
+        service.shutdown()
+
+
+class TestHTTPServer:
+    def test_submit_stream_cancel_roundtrip(self, http_client, tmp_path):
+        spec = json.load(open(QUICKSTART_SPEC))
+        job = http_client.submit({
+            "kind": "sweep", "spec": spec,
+            "params": FAST, "seeds": [0, 1],
+        })
+        assert job["state"] in ("queued", "running")
+        served = http_client.results_bytes(job["id"])
+        final = http_client.wait(job["id"])
+        assert final["state"] == "done"
+        assert final["done"] == final["total"] == 2
+        want = cli_sweep_bytes(
+            tmp_path, "direct.jsonl",
+            ["--spec", QUICKSTART_SPEC, "--seeds", "0,1",
+             "-p", "workload.operations_per_client=2"],
+        )
+        assert served == want
+        with pytest.raises(ServeClientError) as excinfo:
+            http_client.cancel(job["id"])
+        assert excinfo.value.status == 409
+
+    def test_jobs_listing_and_status(self, http_client):
+        job = http_client.submit(
+            {"kind": "run", "scenario": "quickstart", "params": FAST})
+        http_client.wait(job["id"])
+        listing = http_client.jobs()
+        assert [entry["id"] for entry in listing] == [job["id"]]
+        status = http_client.job(job["id"])
+        assert status["resilience"]["resumed"] == 0
+
+    def test_health_and_metrics(self, http_client):
+        health = http_client.health()
+        assert health["ok"] is True
+        job = http_client.submit(
+            {"kind": "run", "scenario": "quickstart", "params": FAST})
+        http_client.wait(job["id"])
+        metrics = http_client.metrics()
+        assert metrics["counters"]["serve.jobs_submitted"] >= 1
+        assert metrics["counters"]["serve.jobs_completed"] >= 1
+        assert "serve.queue_depth" in metrics["gauges"]
+        assert "serve.job_wall_seconds" in metrics["histograms"]
+
+    def test_unknown_job_is_404_over_http(self, http_client):
+        with pytest.raises(ServeClientError) as excinfo:
+            http_client.job("job-424242")
+        assert excinfo.value.status == 404
+
+
+def free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestKillDashNine:
+    def test_kill9_mid_sweep_then_restart_is_byte_identical(self, tmp_path):
+        """The ISSUE acceptance gate, as a real-process drill.
+
+        Boot `python -m repro serve`, submit a sweep, `kill -9` the server
+        after two runs complete, restart it on the same jobs directory, and
+        assert the finished job's results equal a direct CLI sweep's bytes.
+        """
+        env = dict(os.environ)
+        src = os.path.join(REPO, "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        port = free_port()
+        jobs_dir = str(tmp_path / "jobs")
+        argv = [sys.executable, "-m", "repro", "serve", "--host", "127.0.0.1",
+                "--port", str(port), "--jobs-dir", jobs_dir, "--quiet"]
+        client = ServeClient(f"http://127.0.0.1:{port}", timeout=10)
+
+        def boot():
+            process = subprocess.Popen(
+                argv, env=env, cwd=REPO,
+                stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+            )
+            for _ in range(600):
+                try:
+                    client.health()
+                    return process
+                except (OSError, ServeClientError):
+                    time.sleep(0.1)
+            process.kill()
+            raise AssertionError("server did not come up")
+
+        first = boot()
+        try:
+            job = client.submit({
+                "kind": "sweep", "scenario": "quickstart",
+                "params": FAST, "grid": {"cluster.n": [4, 5]},
+                "seeds": [0, 1, 2],
+            })
+            wait_for(lambda: client.job(job["id"])["done"] >= 2, timeout=120,
+                     interval=0.05)
+        finally:
+            first.send_signal(signal.SIGKILL)
+            first.wait()
+
+        second = boot()
+        try:
+            final = client.wait(job["id"], timeout=120)
+            assert final["state"] == "done"
+            assert final["done"] == 6
+            assert final["resilience"]["resumed"] >= 1
+            served = client.results_bytes(job["id"])
+        finally:
+            second.terminate()
+            second.wait()
+
+        want = cli_sweep_bytes(
+            tmp_path, "direct.jsonl",
+            ["quickstart", "-p", "workload.operations_per_client=2",
+             "-g", "cluster.n=4,5", "--seeds", "0,1,2"],
+        )
+        assert served == want
+        payload = [json.loads(line) for line in served.splitlines()]
+        assert not compare_payloads(payload, load_payload(
+            str(tmp_path / "direct.jsonl")))

@@ -47,6 +47,7 @@ REQUIRED_SECTIONS = {
         "## Trace analytics",
         "## Chaos campaigns",
         "## Execution resilience",
+        "## Serving layer",
     ],
     "README.md": [
         "## Scenario catalogue",
@@ -54,6 +55,7 @@ REQUIRED_SECTIONS = {
         "## Analyzing a trace",
         "## Chaos campaigns",
         "## Resilient sweeps & resume",
+        "## Experiment lab as a service",
     ],
 }
 
